@@ -1,0 +1,116 @@
+// Command radar-experiments regenerates every table and figure of the
+// paper's evaluation (§6): the Figure 6 bandwidth/latency comparison, the
+// Figure 7 overhead analysis, the Figure 8a/8b load plots, Table 2, the
+// Figure 9 high-load rerun, and the ablations documented in DESIGN.md.
+//
+// Examples:
+//
+//	radar-experiments                  # full paper scale (several minutes)
+//	radar-experiments -quick           # reduced scale (about a minute)
+//	radar-experiments -only figures    # skip the ablations
+//	radar-experiments -csv out/        # also dump the series data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"radar/internal/experiments"
+	"radar/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radar-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed   = flag.Int64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", false, "reduced scale (2000 objects, halved durations)")
+		only   = flag.String("only", "all", "what to run: all | figures | figure9 | ablations | multiseed")
+		seeds  = flag.Int("seeds", 3, "number of seeds for -only multiseed")
+		csvDir = flag.String("csv", "", "directory for per-figure series CSVs")
+	)
+	flag.Parse()
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	start := time.Now()
+
+	if *only == "all" || *only == "figures" {
+		fmt.Println("== Paper suite (Table 1 parameters, low load) ==")
+		suite, err := experiments.RunSuite(opts, false)
+		if err != nil {
+			return err
+		}
+		if err := suite.RenderAll(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := suite.WriteCSVs(*csvDir); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *only == "all" || *only == "figure9" {
+		fmt.Println("== Figure 9 (high load: hw=50, lw=40) ==")
+		suite, err := experiments.RunSuite(opts, true)
+		if err != nil {
+			return err
+		}
+		if err := suite.RenderAll(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := suite.WriteCSVs(*csvDir); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *only == "multiseed" {
+		fmt.Printf("== Paper suite across %d seeds ==\n", *seeds)
+		list := make([]int64, *seeds)
+		for i := range list {
+			list[i] = *seed + int64(i)
+		}
+		ms, err := experiments.RunMultiSeed(opts, list, false)
+		if err != nil {
+			return err
+		}
+		if err := ms.Table().Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if *only == "all" || *only == "ablations" {
+		fmt.Println("== Ablations ==")
+		ablations := []func(experiments.Options) (*report.Table, error){
+			experiments.AblationDistribution,
+			experiments.AblationFullReplication,
+			experiments.AblationConstant,
+			experiments.AblationThresholds,
+			experiments.AblationBulkOffload,
+			experiments.AblationNeighborOnly,
+			experiments.AblationOracle,
+			experiments.AblationRedirectors,
+		}
+		for _, ab := range ablations {
+			tbl, err := ab(opts)
+			if err != nil {
+				return err
+			}
+			if err := tbl.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Second))
+	return nil
+}

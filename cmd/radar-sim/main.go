@@ -1,0 +1,119 @@
+// Command radar-sim runs a single hosting-service simulation with the
+// paper's Table 1 defaults and prints a summary table, optionally dumping
+// the per-bucket series as CSV.
+//
+// Examples:
+//
+//	radar-sim -workload hot-sites
+//	radar-sim -workload zipf -static
+//	radar-sim -workload regional -duration 60m -seed 7 -csv out/
+//	radar-sim -workload hot-pages -policy round-robin -high-load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"radar"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radar-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadName = flag.String("workload", "zipf", "workload: zipf | hot-sites | hot-pages | regional | uniform")
+		seed         = flag.Int64("seed", 1, "random seed (same seed = identical run)")
+		objects      = flag.Int("objects", 10000, "number of hosted objects")
+		duration     = flag.Duration("duration", 40*time.Minute, "simulated time span")
+		static       = flag.Bool("static", false, "disable dynamic placement (no-replication baseline)")
+		highLoad     = flag.Bool("high-load", false, "use the Figure 9 watermarks (hw=50, lw=40)")
+		policy       = flag.String("policy", "paper", "request distribution: paper | round-robin | closest")
+		consistency  = flag.String("consistency", "none", "consistency regime: none | mixed")
+		redirectors  = flag.Int("redirectors", 1, "number of hash-partitioned redirectors")
+		poisson      = flag.Bool("poisson", false, "Poisson request arrivals instead of constant spacing")
+		contention   = flag.Bool("contention", false, "FIFO link contention instead of fixed per-hop cost")
+		csvDir       = flag.String("csv", "", "directory to write per-bucket series CSVs")
+		traceFile    = flag.String("trace", "", "file to write a JSONL placement-event trace")
+	)
+	flag.Parse()
+
+	cfg := radar.DefaultConfig(radar.Workload(*workloadName))
+	cfg.Seed = *seed
+	cfg.Objects = *objects
+	cfg.Duration = *duration
+	cfg.Static = *static
+	cfg.HighLoad = *highLoad
+	cfg.Policy = radar.Policy(*policy)
+	cfg.Consistency = radar.Consistency(*consistency)
+	cfg.NumRedirectors = *redirectors
+	cfg.PoissonArrivals = *poisson
+	cfg.LinkContention = *contention
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
+
+	start := time.Now()
+	res, err := radar.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, res); err != nil {
+			return err
+		}
+		fmt.Printf("series written to %s\n", *csvDir)
+	}
+	return nil
+}
+
+func writeCSVs(dir string, res *radar.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	series := map[string][]radar.Point{
+		"bandwidth.csv": res.Bandwidth,
+		"latency.csv":   res.Latency,
+		"overhead.csv":  res.OverheadPct,
+		"maxload.csv":   res.MaxLoad,
+	}
+	for name, pts := range series {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "time_s,value")
+		for _, p := range pts {
+			fmt.Fprintf(f, "%.1f,%g\n", p.T.Seconds(), p.V)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, "hostload.csv"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "time_s,actual,lower,upper")
+	for _, s := range res.HostLoad {
+		fmt.Fprintf(f, "%.1f,%g,%g,%g\n", s.T.Seconds(), s.Actual, s.Lower, s.Upper)
+	}
+	return f.Close()
+}

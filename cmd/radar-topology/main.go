@@ -1,0 +1,113 @@
+// Command radar-topology inspects the reconstructed UUNET backbone: node
+// and region listings, routing statistics, preference paths, and the
+// redirector placement the simulator derives from them.
+//
+// Examples:
+//
+//	radar-topology                      # overview + per-region listing
+//	radar-topology -path Tokyo:London   # the preference path Tokyo -> London
+//	radar-topology -node Atlanta        # one node's links and distances
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"radar/internal/routing"
+	"radar/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radar-topology:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		pathSpec = flag.String("path", "", "print the preference path between two nodes, e.g. Tokyo:London")
+		nodeName = flag.String("node", "", "print one node's links and distance profile")
+	)
+	flag.Parse()
+
+	topo := topology.UUNET()
+	routes := routing.New(topo)
+
+	if *pathSpec != "" {
+		return printPath(topo, routes, *pathSpec)
+	}
+	if *nodeName != "" {
+		return printNode(topo, routes, *nodeName)
+	}
+	printOverview(topo, routes)
+	return nil
+}
+
+func printOverview(topo *topology.Topology, routes *routing.Table) {
+	fmt.Printf("Reconstructed UUNET backbone: %d nodes, %d links, diameter %d hops\n",
+		topo.NumNodes(), topo.NumEdges(), routes.Diameter())
+	total := 0.0
+	for i := 0; i < topo.NumNodes(); i++ {
+		total += routes.AvgDistance(topology.NodeID(i))
+	}
+	fmt.Printf("mean inter-node distance: %.2f hops\n", total/float64(topo.NumNodes()))
+	red := routes.MinAvgDistanceNode()
+	fmt.Printf("redirector placement (min avg distance): %s (%.2f hops avg)\n\n",
+		topo.Node(red).Name, routes.AvgDistance(red))
+	for _, r := range topology.Regions() {
+		ids := topo.NodesInRegion(r)
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = topo.Node(id).Name
+		}
+		fmt.Printf("%s (%d): %s\n", r, len(ids), strings.Join(names, ", "))
+	}
+}
+
+func printPath(topo *topology.Topology, routes *routing.Table, spec string) error {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("path spec must be From:To, got %q", spec)
+	}
+	from, ok := topo.Lookup(parts[0])
+	if !ok {
+		return fmt.Errorf("unknown node %q", parts[0])
+	}
+	to, ok := topo.Lookup(parts[1])
+	if !ok {
+		return fmt.Errorf("unknown node %q", parts[1])
+	}
+	p := routes.PreferencePath(from, to)
+	names := make([]string, len(p))
+	for i, id := range p {
+		names[i] = topo.Node(id).Name
+	}
+	fmt.Printf("%s (%d hops)\n", strings.Join(names, " -> "), len(p)-1)
+	return nil
+}
+
+func printNode(topo *topology.Topology, routes *routing.Table, name string) error {
+	id, ok := topo.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown node %q", name)
+	}
+	n := topo.Node(id)
+	fmt.Printf("%s (id %d, %s)\n", n.Name, n.ID, n.Region)
+	var links []string
+	for _, w := range topo.Neighbors(id) {
+		links = append(links, topo.Node(w).Name)
+	}
+	fmt.Printf("links: %s\n", strings.Join(links, ", "))
+	fmt.Printf("average distance to other nodes: %.2f hops\n", routes.AvgDistance(id))
+	far, dist := id, 0
+	for i := 0; i < topo.NumNodes(); i++ {
+		if d := routes.Distance(id, topology.NodeID(i)); d > dist {
+			far, dist = topology.NodeID(i), d
+		}
+	}
+	fmt.Printf("farthest node: %s (%d hops)\n", topo.Node(far).Name, dist)
+	return nil
+}

@@ -1,0 +1,82 @@
+// Hotspot relief: the paper's motivating scenario. A handful of hosting
+// sites hold all the popular content (hot-sites workload) and are
+// swamped far beyond their capacity; the protocol must dissolve the hot
+// spots autonomously — each host decides on migration and replication
+// from local knowledge only.
+//
+// The example runs the scenario twice — once with placement frozen
+// (static mirroring, as if administrators never reacted) and once with
+// the dynamic protocol — and compares the hottest server's load and the
+// user-visible latency over time.
+//
+//	go run ./examples/hotspot-relief
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"radar"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hotspot-relief:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Full paper scale: the cold-start hot spots take tens of simulated
+	// minutes to dissolve, so this example simulates a 55-minute run
+	// (about a minute of wall time).
+	base := radar.DefaultConfig(radar.HotSites)
+	base.Duration = 55 * time.Minute
+
+	static := base
+	static.Static = true
+	static.Duration = 10 * time.Minute // saturation is visible immediately
+	staticRes, err := radar.Run(static)
+	if err != nil {
+		return err
+	}
+
+	dynRes, err := radar.Run(base)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Scenario: 90% of demand hits pages hosted by ~10% of the sites.")
+	fmt.Println("(paper-scale run: 10,000 objects, 55 simulated minutes)")
+	fmt.Println()
+	fmt.Println("Static mirroring (no reaction):")
+	fmt.Printf("  hottest server stays at %.0f req/s (its full capacity) indefinitely\n",
+		staticRes.Summary.MaxLoadSettled)
+	fmt.Printf("  average latency: %.1f s and growing; %d requests abandoned\n",
+		staticRes.Summary.LatencyEquilibrium, staticRes.Summary.TimedOutRequests)
+	fmt.Println()
+	fmt.Println("Dynamic replication (the paper's protocol):")
+	fmt.Printf("  hottest server peak %.0f req/s, settled %.0f req/s (high watermark 90)\n",
+		dynRes.Summary.MaxLoadPeak, dynRes.Summary.MaxLoadSettled)
+	fmt.Printf("  average latency settles at %.0f ms\n", dynRes.Summary.LatencyEquilibrium*1000)
+	fmt.Printf("  replicas created per object: %.2f average\n", dynRes.Summary.AvgReplicas)
+	fmt.Println()
+	fmt.Println("Hottest-server load over time (dynamic run):")
+	for i, p := range dynRes.MaxLoad {
+		if i%15 == 0 { // one sample per 5 simulated minutes
+			fmt.Printf("  t=%5v  max load %6.1f req/s %s\n", p.T, p.V, bar(p.V, 200))
+		}
+	}
+	return nil
+}
+
+// bar renders a crude horizontal bar chart cell.
+func bar(v, max float64) string {
+	n := int(v / max * 40)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

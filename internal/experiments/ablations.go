@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radar/internal/protocol"
+	"radar/internal/report"
+	"radar/internal/sim"
+	"radar/internal/topology"
+)
+
+// AblationDistribution compares the paper's request distribution algorithm
+// against the §3 strawmen on the hot-sites workload, where both failure
+// modes are visible: round-robin wastes proximity (high bandwidth), and
+// closest-replica cannot relieve a host swamped by requests from its own
+// vicinity — "no matter how many additional replicas the server creates,
+// all requests will be sent to it anyway" (§3) — so its hot spots and
+// latency persist.
+func AblationDistribution(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A1 (§3): request distribution policies on hot-sites",
+		Headers: []string{"policy", "bw equilibrium (B·hops/s)", "latency eq (s)", "max load settled", "timeouts", "avg replicas"},
+	}
+	for _, pol := range []protocol.Policy{protocol.PolicyPaper, protocol.PolicyRoundRobin, protocol.PolicyClosest} {
+		cfg := baseConfig(gens["hot-sites"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-sites")
+		cfg.Policy = pol
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy %v: %w", pol, err)
+		}
+		t.AddRow(pol.String(),
+			report.F(res.BandwidthStats.Equilibrium, 0),
+			report.F(res.LatencyStats.Equilibrium, 3),
+			report.F(res.MaxLoadSettled, 1),
+			fmt.Sprint(res.TimedOutRequests),
+			report.F(res.AvgReplicas, 2))
+	}
+	return t, nil
+}
+
+// AblationFullReplication probes the §4 claim that needless replicas are
+// harmful. The harm is demand-dependent: under symmetric demand (zipf,
+// requested equally from everywhere) a replica on every node lets every
+// request stay local, so full replication wins bandwidth and only wastes
+// storage (53x the replicas). Under asymmetric demand (regional) the
+// load-oblivious distributor sees 40+ nearly idle remote replicas of each
+// regional object as least-requested and ships a steady stream of requests
+// across the world — the §4 spillover harm — so full replication loses to
+// the protocol's selective placement despite infinite storage.
+func AblationFullReplication(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A2 (§4): replicate-everywhere vs selective dynamic placement",
+		Headers: []string{"workload", "placement", "bw equilibrium (B·hops/s)", "latency eq (s)", "avg replicas"},
+	}
+	for _, name := range []string{"zipf", "regional"} {
+		full := baseConfig(gens[name], opts, false)
+		full.Duration = opts.staticDuration()
+		full.DynamicPlacement = false
+		full.ReplicateEverywhere = true
+		fullRes, err := runOne(full)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: full replication %s: %w", name, err)
+		}
+		dyn := baseConfig(gens[name], opts, false)
+		dyn.Duration = opts.dynamicDuration(name)
+		dynRes, err := runOne(dyn)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dynamic %s: %w", name, err)
+		}
+		t.AddRow(name, "replicate everywhere",
+			report.F(fullRes.BandwidthStats.Equilibrium, 0),
+			report.F(fullRes.LatencyStats.Equilibrium, 3),
+			report.F(fullRes.AvgReplicas, 2))
+		t.AddRow(name, "dynamic (paper)",
+			report.F(dynRes.BandwidthStats.Equilibrium, 0),
+			report.F(dynRes.LatencyStats.Equilibrium, 3),
+			report.F(dynRes.AvgReplicas, 2))
+	}
+	return t, nil
+}
+
+// AblationConstant sweeps the request distribution constant (§6.1 names it
+// a tunable; the paper fixes 2).
+func AblationConstant(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A3 (§6.1): distribution constant sweep on hot-pages",
+		Headers: []string{"constant", "bw equilibrium (B·hops/s)", "latency eq (s)", "max load settled", "avg replicas"},
+	}
+	for _, c := range []float64{1.5, 2, 3, 4} {
+		cfg := baseConfig(gens["hot-pages"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-pages")
+		cfg.Protocol.DistConstant = c
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: constant %v: %w", c, err)
+		}
+		t.AddRow(report.F(c, 1),
+			report.F(res.BandwidthStats.Equilibrium, 0),
+			report.F(res.LatencyStats.Equilibrium, 3),
+			report.F(res.MaxLoadSettled, 1),
+			report.F(res.AvgReplicas, 2))
+	}
+	return t, nil
+}
+
+// AblationThresholds sweeps the deletion threshold u and the m/u ratio
+// (§6.1 discusses both tradeoffs; the theory requires m > 4u).
+func AblationThresholds(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A4 (§6.1): deletion/replication threshold sweep on hot-pages",
+		Headers: []string{"u (req/s)", "m/u", "bw equilibrium (B·hops/s)", "avg replicas", "drops", "overhead %"},
+	}
+	type pt struct {
+		u, ratio float64
+	}
+	for _, p := range []pt{{0.015, 6}, {0.03, 4.5}, {0.03, 6}, {0.03, 9}, {0.06, 6}} {
+		cfg := baseConfig(gens["hot-pages"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-pages")
+		cfg.Protocol.DeletionThreshold = p.u
+		cfg.Protocol.ReplicationThreshold = p.u * p.ratio
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: thresholds %v: %w", p, err)
+		}
+		t.AddRow(report.F(p.u, 3), report.F(p.ratio, 1),
+			report.F(res.BandwidthStats.Equilibrium, 0),
+			report.F(res.AvgReplicas, 2),
+			fmt.Sprint(res.Counters.Drops),
+			report.F(res.OverheadPercent, 2))
+	}
+	return t, nil
+}
+
+// AblationNeighborOnly compares the paper's protocol against the
+// related-work baseline it critiques in §1.1 (ADR / WebWave style):
+// replicas may only be created on direct topology neighbors and requests
+// always go to the closest replica. Under hot-sites demand the baseline
+// can neither shed a swamped host's local requests (closest routing keeps
+// sending them back) nor create distant replicas directly, so hot spots
+// and bandwidth linger.
+func AblationNeighborOnly(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A6 (§1.1): paper protocol vs neighbor-only placement + closest routing (hot-sites)",
+		Headers: []string{"protocol", "bw equilibrium (B·hops/s)", "latency eq (s)", "max load settled", "timeouts", "avg replicas"},
+	}
+	variants := []struct {
+		label  string
+		mutate func(*sim.Config)
+	}{
+		{"paper protocol", func(*sim.Config) {}},
+		{"neighbor-only + closest (ADR/WebWave style)", func(cfg *sim.Config) {
+			cfg.Protocol.NeighborOnly = true
+			cfg.Policy = protocol.PolicyClosest
+		}},
+	}
+	for _, v := range variants {
+		cfg := baseConfig(gens["hot-sites"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-sites")
+		v.mutate(&cfg)
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", v.label, err)
+		}
+		t.AddRow(v.label,
+			report.F(res.BandwidthStats.Equilibrium, 0),
+			report.F(res.LatencyStats.Equilibrium, 3),
+			report.F(res.MaxLoadSettled, 1),
+			fmt.Sprint(res.TimedOutRequests),
+			report.F(res.AvgReplicas, 2))
+	}
+	return t, nil
+}
+
+// AblationBulkOffload compares the paper's en-masse offloading (enabled by
+// the Theorem 1-4 load bounds) against moving one object per placement
+// round (§1.2: without bulk relocation "a system of our intended scale
+// would be hopelessly slow in adjusting to demand changes"). Measured on
+// hot-sites, where offloading does the heavy lifting.
+func AblationBulkOffload(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A5 (§1.2): en-masse vs one-object-per-round offloading on hot-sites",
+		Headers: []string{"offload mode", "adjustment (min)", "max load settled", "latency eq (s)", "load moves"},
+	}
+	for _, cap := range []int{0, 1} {
+		cfg := baseConfig(gens["hot-sites"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-sites")
+		cfg.Protocol.MaxOffloadPerRun = cap
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: offload cap %d: %w", cap, err)
+		}
+		mode := "en masse (paper)"
+		if cap == 1 {
+			mode = "one per round"
+		}
+		adj := "not settled"
+		if res.Adjusted {
+			adj = report.Mins(res.AdjustmentTime)
+		}
+		t.AddRow(mode, adj,
+			report.F(res.MaxLoadSettled, 1),
+			report.F(res.LatencyStats.Equilibrium, 3),
+			fmt.Sprint(res.Counters.LoadMigrations+res.Counters.LoadReplications))
+	}
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radar/internal/report"
+	"radar/internal/stats"
+)
+
+// MultiSeed aggregates the paper suite across several seeds, reporting
+// each headline metric as mean ± 95% half-width. Simulation results carry
+// run-to-run noise (workload sampling, hot-site selection); multi-seed
+// aggregation is what makes the paper-vs-measured comparison defensible.
+type MultiSeed struct {
+	Seeds  []int64
+	Suites []*Suite
+}
+
+// RunMultiSeed executes the paper suite once per seed.
+func RunMultiSeed(base Options, seeds []int64, highLoad bool) (*MultiSeed, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	ms := &MultiSeed{Seeds: seeds}
+	for _, seed := range seeds {
+		opts := base
+		opts.Seed = seed
+		suite, err := RunSuite(opts, highLoad)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		ms.Suites = append(ms.Suites, suite)
+	}
+	return ms, nil
+}
+
+// gather extracts one metric per workload across seeds.
+func (ms *MultiSeed) gather(workload string, metric func(*WorkloadRun) float64) []float64 {
+	out := make([]float64, 0, len(ms.Suites))
+	for _, s := range ms.Suites {
+		out = append(out, metric(s.Runs[workload]))
+	}
+	return out
+}
+
+// Table renders the aggregated Figure 6 + Table 2 metrics.
+func (ms *MultiSeed) Table() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Paper suite across %d seeds (mean ± 95%% half-width)", len(ms.Seeds)),
+		Headers: []string{"workload", "bw reduction %", "latency eq (s)",
+			"avg replicas", "overhead %", "max load settled"},
+	}
+	for _, name := range WorkloadNames {
+		t.AddRow(name,
+			stats.FormatMeanErr(ms.gather(name, func(r *WorkloadRun) float64 { return r.BandwidthReduction() }), 1),
+			stats.FormatMeanErr(ms.gather(name, func(r *WorkloadRun) float64 { return r.Dynamic.LatencyStats.Equilibrium }), 3),
+			stats.FormatMeanErr(ms.gather(name, func(r *WorkloadRun) float64 { return r.Dynamic.AvgReplicas }), 2),
+			stats.FormatMeanErr(ms.gather(name, func(r *WorkloadRun) float64 { return r.Dynamic.OverheadPercent }), 2),
+			stats.FormatMeanErr(ms.gather(name, func(r *WorkloadRun) float64 { return r.Dynamic.MaxLoadSettled }), 1),
+		)
+	}
+	return t
+}

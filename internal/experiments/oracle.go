@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radar/internal/oracle"
+	"radar/internal/report"
+	"radar/internal/routing"
+	"radar/internal/topology"
+)
+
+// AblationOracle answers the paper's future-work question (§1.1): how far
+// is the autonomous protocol from a centrally computed placement? The
+// oracle sees the exact demand matrix and greedily minimizes byte×hops
+// with the same replica budget the protocol ended up using; the protocol
+// sees nothing but its own local request counts. Both placements are then
+// evaluated under identical demand: the oracle as a static run (its
+// placement is already demand-optimal), the protocol dynamically.
+func AblationOracle(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	routes := routing.New(topo)
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A7 (§1.1 future work): autonomous protocol vs offline greedy oracle (same replica budget)",
+		Headers: []string{"workload", "placement", "bw equilibrium (B·hops/s)", "latency eq (s)", "replicas/object"},
+	}
+	for _, name := range []string{"zipf", "regional"} {
+		gen := gens[name]
+		dyn := baseConfig(gen, opts, false)
+		dyn.Duration = opts.dynamicDuration(name)
+		dynRes, err := runOne(dyn)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dynamic %s: %w", name, err)
+		}
+
+		demand, err := oracle.EstimateDemand(gen, topo, u, dyn.NodeRequestRPS, 20000, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		extra := int(float64(u.Count) * (dynRes.AvgReplicas - 1))
+		if extra < 0 {
+			extra = 0
+		}
+		placement, err := oracle.Greedy(routes, demand, extra)
+		if err != nil {
+			return nil, err
+		}
+		oracleCfg := baseConfig(gen, opts, false)
+		oracleCfg.Duration = opts.staticDuration()
+		oracleCfg.DynamicPlacement = false
+		oracleCfg.InitialPlacement = placement
+		oracleRes, err := runOne(oracleCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: oracle %s: %w", name, err)
+		}
+
+		t.AddRow(name, "protocol (autonomous)",
+			report.F(dynRes.BandwidthStats.Equilibrium, 0),
+			report.F(dynRes.LatencyStats.Equilibrium, 3),
+			report.F(dynRes.AvgReplicas, 2))
+		t.AddRow(name, "oracle (offline greedy)",
+			report.F(oracleRes.BandwidthStats.Equilibrium, 0),
+			report.F(oracleRes.LatencyStats.Equilibrium, 3),
+			report.F(float64(oracle.TotalReplicas(placement))/float64(u.Count), 2))
+	}
+	return t, nil
+}
+
+// AblationRedirectors sweeps the number of hash-partitioned redirectors
+// (§6.1 future work: redirector placement to minimize added latency).
+// More redirectors shorten the gateway-to-redirector detour on average.
+func AblationRedirectors(opts Options) (*report.Table, error) {
+	topo := topology.UUNET()
+	u := opts.universe()
+	gens, err := Generators(u, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A8 (§6.1 future work): redirector count sweep (zipf)",
+		Headers: []string{"redirectors", "latency eq (s)", "bw equilibrium (B·hops/s)", "avg replicas"},
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := baseConfig(gens["zipf"], opts, false)
+		cfg.Duration = opts.dynamicDuration("zipf")
+		cfg.NumRedirectors = k
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %d redirectors: %w", k, err)
+		}
+		t.AddRow(fmt.Sprint(k),
+			report.F(res.LatencyStats.Equilibrium, 3),
+			report.F(res.BandwidthStats.Equilibrium, 0),
+			report.F(res.AvgReplicas, 2))
+	}
+	// Per-object placement: each object's redirector at its home node.
+	cfg := baseConfig(gens["zipf"], opts, false)
+	cfg.Duration = opts.dynamicDuration("zipf")
+	cfg.RedirectorAtHome = true
+	res, err := runOne(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: per-object redirectors: %w", err)
+	}
+	t.AddRow("per-object (home node)",
+		report.F(res.LatencyStats.Equilibrium, 3),
+		report.F(res.BandwidthStats.Equilibrium, 0),
+		report.F(res.AvgReplicas, 2))
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"radar/internal/sim"
+)
+
+// SweepPoint is one configuration in a parameter sweep.
+type SweepPoint struct {
+	// Label identifies the point in reports.
+	Label string
+	// Config is the full simulation configuration to run.
+	Config sim.Config
+}
+
+// SweepResult pairs a sweep point with its outcome.
+type SweepResult struct {
+	Label   string
+	Results *sim.Results
+	Err     error
+}
+
+// Sweep runs every point, up to parallelism simulations concurrently
+// (each simulation is single-threaded and independent; parallelism <= 0
+// selects GOMAXPROCS). Results are returned in input order.
+func Sweep(points []SweepPoint, parallelism int) []SweepResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(points) {
+		parallelism = len(points)
+	}
+	out := make([]SweepResult, len(points))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, p := range points {
+		i, p := i, p
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := runOne(p.Config)
+			out[i] = SweepResult{Label: p.Label, Results: res, Err: err}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"radar/internal/object"
+	"radar/internal/sim"
+	"radar/internal/workload"
+)
+
+func tinyConfig(t *testing.T, seed int64) sim.Config {
+	t.Helper()
+	u := object.Universe{Count: 300, SizeBytes: 12 << 10}
+	gen, err := workload.NewUniform(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(gen, seed)
+	cfg.Universe = u
+	cfg.Duration = time.Minute
+	return cfg
+}
+
+func TestSweepRunsAllPointsInOrder(t *testing.T) {
+	points := []SweepPoint{
+		{Label: "a", Config: tinyConfig(t, 1)},
+		{Label: "b", Config: tinyConfig(t, 2)},
+		{Label: "c", Config: tinyConfig(t, 3)},
+	}
+	results := Sweep(points, 2)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Label != points[i].Label {
+			t.Errorf("result %d label = %q, want %q (order preserved)", i, r.Label, points[i].Label)
+		}
+		if r.Err != nil {
+			t.Errorf("point %q failed: %v", r.Label, r.Err)
+		}
+		if r.Results == nil || r.Results.TotalServed == 0 {
+			t.Errorf("point %q produced no results", r.Label)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	bad := tinyConfig(t, 1)
+	bad.NodeRequestRPS = -1
+	results := Sweep([]SweepPoint{
+		{Label: "good", Config: tinyConfig(t, 1)},
+		{Label: "bad", Config: bad},
+	}, 1)
+	if results[0].Err != nil {
+		t.Errorf("good point failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("bad point succeeded")
+	}
+}
+
+func TestSweepDefaultParallelism(t *testing.T) {
+	results := Sweep([]SweepPoint{{Label: "only", Config: tinyConfig(t, 5)}}, 0)
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestSweepMatchesSequentialRun(t *testing.T) {
+	cfg := tinyConfig(t, 9)
+	seq, err := runOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := Sweep([]SweepPoint{{Label: "x", Config: tinyConfig(t, 9)}}, 4)
+	if par[0].Err != nil {
+		t.Fatal(par[0].Err)
+	}
+	if par[0].Results.TotalServed != seq.TotalServed ||
+		par[0].Results.Counters != seq.Counters {
+		t.Error("sweep run diverged from sequential run with the same seed")
+	}
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// latencyHist is a log-spaced latency histogram covering 100µs to ~1000s
+// with constant relative resolution, used for per-bucket percentile
+// estimates without storing individual samples.
+type latencyHist struct {
+	bins  [histBins]int64
+	count int64
+}
+
+const (
+	histBins = 96
+	histMin  = 100e-6 // 100 µs
+	histMax  = 1000.0 // 1000 s
+)
+
+var histLogRange = math.Log(histMax / histMin)
+
+// binFor maps a latency in seconds to a bin index.
+func binFor(seconds float64) int {
+	if seconds <= histMin {
+		return 0
+	}
+	if seconds >= histMax {
+		return histBins - 1
+	}
+	idx := int(math.Log(seconds/histMin) / histLogRange * float64(histBins))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= histBins {
+		idx = histBins - 1
+	}
+	return idx
+}
+
+// binUpper returns a bin's upper edge in seconds (a conservative
+// percentile estimate).
+func binUpper(idx int) float64 {
+	return histMin * math.Exp(float64(idx+1)/float64(histBins)*histLogRange)
+}
+
+// observe records one latency sample.
+func (h *latencyHist) observe(d time.Duration) {
+	h.bins[binFor(d.Seconds())]++
+	h.count++
+}
+
+// quantile returns an upper-edge estimate of the q-th quantile (0..1);
+// zero when empty.
+func (h *latencyHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < histBins; i++ {
+		seen += h.bins[i]
+		if seen >= target {
+			return binUpper(i)
+		}
+	}
+	return binUpper(histBins - 1)
+}

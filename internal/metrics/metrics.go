@@ -1,0 +1,247 @@
+// Package metrics collects everything the paper's evaluation reports:
+// time-bucketed backbone bandwidth (payload and protocol overhead in
+// byte×hops, Figures 6, 7 and 9), average response latency (Figures 6 and
+// 9), per-interval maximum server load (Figure 8a), a tracked host's
+// actual load against its lower/upper estimates (Figure 8b), the replica
+// census and the adjustment-time analysis (Table 2), and protocol event
+// counters.
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/simnet"
+	"radar/internal/topology"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Counters aggregates protocol activity over a run.
+type Counters struct {
+	GeoMigrations    int64
+	GeoReplications  int64
+	LoadMigrations   int64
+	LoadReplications int64
+	Drops            int64
+	Refusals         int64
+	Requests         int64
+}
+
+// HostLoadSample is one Figure 8b sample: a host's measured load
+// sandwiched by its estimates.
+type HostLoadSample struct {
+	T      time.Duration
+	Actual float64
+	Lower  float64
+	Upper  float64
+}
+
+// Collector accumulates run statistics. It implements simnet.Recorder and
+// protocol.Observer. The zero value is not usable; call New.
+type Collector struct {
+	bucket time.Duration
+
+	payloadBH  []float64 // byte-hops per bucket
+	overheadBH []float64
+	latencySum []float64 // seconds
+	latencyCnt []int64
+	latencyH   []*latencyHist
+
+	maxLoad   []Point
+	hostLoads []HostLoadSample
+	replicas  []Point // average replicas per object over time
+
+	counters Counters
+}
+
+// New builds a collector with the given series bucket width.
+func New(bucket time.Duration) (*Collector, error) {
+	if bucket <= 0 {
+		return nil, fmt.Errorf("metrics: bucket %v must be positive", bucket)
+	}
+	return &Collector{bucket: bucket}, nil
+}
+
+// Bucket returns the series bucket width.
+func (c *Collector) Bucket() time.Duration { return c.bucket }
+
+func (c *Collector) idx(now time.Duration) int {
+	i := int(now / c.bucket)
+	for len(c.payloadBH) <= i {
+		c.payloadBH = append(c.payloadBH, 0)
+		c.overheadBH = append(c.overheadBH, 0)
+		c.latencySum = append(c.latencySum, 0)
+		c.latencyCnt = append(c.latencyCnt, 0)
+		c.latencyH = append(c.latencyH, &latencyHist{})
+	}
+	return i
+}
+
+// RecordTransfer implements simnet.Recorder.
+func (c *Collector) RecordTransfer(now time.Duration, class simnet.Class, bytes int64, hops int) {
+	i := c.idx(now)
+	bh := float64(bytes) * float64(hops)
+	if class == simnet.Payload {
+		c.payloadBH[i] += bh
+	} else {
+		c.overheadBH[i] += bh
+	}
+}
+
+// RecordLatency records one completed request's end-to-end latency at its
+// delivery time.
+func (c *Collector) RecordLatency(deliveredAt, latency time.Duration) {
+	i := c.idx(deliveredAt)
+	c.latencySum[i] += latency.Seconds()
+	c.latencyCnt[i]++
+	c.latencyH[i].observe(latency)
+	c.counters.Requests++
+}
+
+// RecordMaxLoad records the system-wide maximum measured server load at a
+// measurement boundary (Figure 8a).
+func (c *Collector) RecordMaxLoad(now time.Duration, load float64) {
+	c.maxLoad = append(c.maxLoad, Point{T: now, V: load})
+}
+
+// RecordHostLoad records a tracked host's actual load and estimate bounds
+// (Figure 8b).
+func (c *Collector) RecordHostLoad(now time.Duration, actual, lower, upper float64) {
+	c.hostLoads = append(c.hostLoads, HostLoadSample{T: now, Actual: actual, Lower: lower, Upper: upper})
+}
+
+// RecordReplicaCensus records the average number of replicas per object.
+func (c *Collector) RecordReplicaCensus(now time.Duration, avg float64) {
+	c.replicas = append(c.replicas, Point{T: now, V: avg})
+}
+
+// OnMigrate implements protocol.Observer.
+func (c *Collector) OnMigrate(_ time.Duration, _ object.ID, _, _ topology.NodeID, kind protocol.MoveKind) {
+	if kind == protocol.GeoMove {
+		c.counters.GeoMigrations++
+	} else {
+		c.counters.LoadMigrations++
+	}
+}
+
+// OnReplicate implements protocol.Observer.
+func (c *Collector) OnReplicate(_ time.Duration, _ object.ID, _, _ topology.NodeID, kind protocol.MoveKind) {
+	if kind == protocol.GeoMove {
+		c.counters.GeoReplications++
+	} else {
+		c.counters.LoadReplications++
+	}
+}
+
+// OnDrop implements protocol.Observer.
+func (c *Collector) OnDrop(_ time.Duration, _ object.ID, _ topology.NodeID) {
+	c.counters.Drops++
+}
+
+// OnRefuse implements protocol.Observer.
+func (c *Collector) OnRefuse(_ time.Duration, _ object.ID, _, _ topology.NodeID, _ protocol.Method) {
+	c.counters.Refusals++
+}
+
+// Counters returns the accumulated protocol counters.
+func (c *Collector) Counters() Counters { return c.counters }
+
+// BandwidthSeries returns total (payload+overhead) backbone bandwidth per
+// bucket, in byte×hops per second.
+func (c *Collector) BandwidthSeries() []Point {
+	out := make([]Point, len(c.payloadBH))
+	secs := c.bucket.Seconds()
+	for i := range out {
+		out[i] = Point{
+			T: time.Duration(i) * c.bucket,
+			V: (c.payloadBH[i] + c.overheadBH[i]) / secs,
+		}
+	}
+	return out
+}
+
+// OverheadPercentSeries returns protocol overhead as a percentage of total
+// traffic per bucket (Figure 7).
+func (c *Collector) OverheadPercentSeries() []Point {
+	out := make([]Point, len(c.payloadBH))
+	for i := range out {
+		total := c.payloadBH[i] + c.overheadBH[i]
+		v := 0.0
+		if total > 0 {
+			v = 100 * c.overheadBH[i] / total
+		}
+		out[i] = Point{T: time.Duration(i) * c.bucket, V: v}
+	}
+	return out
+}
+
+// LatencySeries returns average response latency (seconds) per bucket.
+func (c *Collector) LatencySeries() []Point {
+	out := make([]Point, len(c.latencySum))
+	for i := range out {
+		v := 0.0
+		if c.latencyCnt[i] > 0 {
+			v = c.latencySum[i] / float64(c.latencyCnt[i])
+		}
+		out[i] = Point{T: time.Duration(i) * c.bucket, V: v}
+	}
+	return out
+}
+
+// LatencyQuantileSeries returns a per-bucket latency quantile estimate
+// (seconds). q is in [0,1]; e.g. 0.99 for p99. Estimates come from a
+// log-spaced histogram with ~7% relative resolution and are rounded up.
+func (c *Collector) LatencyQuantileSeries(q float64) []Point {
+	out := make([]Point, len(c.latencyH))
+	for i := range out {
+		out[i] = Point{T: time.Duration(i) * c.bucket, V: c.latencyH[i].quantile(q)}
+	}
+	return out
+}
+
+// MaxLoadSeries returns the Figure 8a series.
+func (c *Collector) MaxLoadSeries() []Point {
+	out := make([]Point, len(c.maxLoad))
+	copy(out, c.maxLoad)
+	return out
+}
+
+// HostLoadSeries returns the Figure 8b samples.
+func (c *Collector) HostLoadSeries() []HostLoadSample {
+	out := make([]HostLoadSample, len(c.hostLoads))
+	copy(out, c.hostLoads)
+	return out
+}
+
+// ReplicaSeries returns the average-replicas-per-object series.
+func (c *Collector) ReplicaSeries() []Point {
+	out := make([]Point, len(c.replicas))
+	copy(out, c.replicas)
+	return out
+}
+
+// TotalByteHops returns cumulative (payload, overhead) byte×hops.
+func (c *Collector) TotalByteHops() (payload, overhead float64) {
+	for i := range c.payloadBH {
+		payload += c.payloadBH[i]
+		overhead += c.overheadBH[i]
+	}
+	return payload, overhead
+}
+
+// OverheadPercent returns cumulative overhead as a percentage of total
+// traffic.
+func (c *Collector) OverheadPercent() float64 {
+	p, o := c.TotalByteHops()
+	if p+o == 0 {
+		return 0
+	}
+	return 100 * o / (p + o)
+}

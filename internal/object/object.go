@@ -1,0 +1,50 @@
+// Package object defines the identity of hosted Web objects and the object
+// universe shared by the workload generators, the protocol and the
+// simulator.
+package object
+
+import (
+	"fmt"
+
+	"radar/internal/topology"
+)
+
+// ID identifies a hosted object. IDs are dense, starting at 0.
+type ID int
+
+// Universe describes the set of hosted objects. The paper models 10,000
+// objects of 12 KB each (Table 1).
+type Universe struct {
+	// Count is the number of objects.
+	Count int
+	// SizeBytes is the uniform object size; "we assume that all pages are
+	// of equal size" (paper §6.1).
+	SizeBytes int
+}
+
+// Validate reports whether the universe is usable.
+func (u Universe) Validate() error {
+	if u.Count <= 0 {
+		return fmt.Errorf("object: universe count %d must be positive", u.Count)
+	}
+	if u.SizeBytes <= 0 {
+		return fmt.Errorf("object: size %d bytes must be positive", u.SizeBytes)
+	}
+	return nil
+}
+
+// HomeNode returns the node the object is initially placed on under the
+// paper's round-robin initial assignment: "object i is assigned to node
+// i mod 53" (§6.1), generalized to any node count.
+func (u Universe) HomeNode(id ID, numNodes int) topology.NodeID {
+	return topology.NodeID(int(id) % numNodes)
+}
+
+// ObjectsHomedAt returns the IDs initially placed on node n, in order.
+func (u Universe) ObjectsHomedAt(n topology.NodeID, numNodes int) []ID {
+	var out []ID
+	for i := int(n); i < u.Count; i += numNodes {
+		out = append(out, ID(i))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+
+	"radar/internal/topology"
+)
+
+func TestUniverseValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		u    Universe
+		ok   bool
+	}{
+		{"paper universe", Universe{Count: 10000, SizeBytes: 12 << 10}, true},
+		{"zero count", Universe{Count: 0, SizeBytes: 1}, false},
+		{"negative count", Universe{Count: -1, SizeBytes: 1}, false},
+		{"zero size", Universe{Count: 1, SizeBytes: 0}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.u.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestHomeNodeRoundRobin(t *testing.T) {
+	u := Universe{Count: 100, SizeBytes: 1}
+	// Paper: "object i is assigned to node i mod 53".
+	for _, tc := range []struct {
+		id   ID
+		n    int
+		want topology.NodeID
+	}{
+		{0, 53, 0}, {52, 53, 52}, {53, 53, 0}, {107, 53, 1},
+	} {
+		if got := u.HomeNode(tc.id, tc.n); got != tc.want {
+			t.Errorf("HomeNode(%d,%d) = %v, want %v", tc.id, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestHomePartitionProperty: ObjectsHomedAt partitions the universe —
+// every object appears on exactly one home node.
+func TestHomePartitionProperty(t *testing.T) {
+	f := func(countRaw uint8, nodesRaw uint8) bool {
+		count := int(countRaw)%500 + 1
+		nodes := int(nodesRaw)%60 + 1
+		u := Universe{Count: count, SizeBytes: 1}
+		seen := make(map[ID]int)
+		for n := 0; n < nodes; n++ {
+			for _, id := range u.ObjectsHomedAt(topology.NodeID(n), nodes) {
+				seen[id]++
+				if u.HomeNode(id, nodes) != topology.NodeID(n) {
+					return false
+				}
+			}
+		}
+		if len(seen) != count {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectsHomedAtEvenSpread(t *testing.T) {
+	u := Universe{Count: 10000, SizeBytes: 12 << 10}
+	min, max := -1, -1
+	for n := 0; n < 53; n++ {
+		c := len(u.ObjectsHomedAt(topology.NodeID(n), 53))
+		if min == -1 || c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("round-robin spread uneven: min %d, max %d", min, max)
+	}
+}

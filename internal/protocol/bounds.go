@@ -1,0 +1,57 @@
+package protocol
+
+// This file encodes the load-change bounds of Theorems 1-5 (paper §3).
+// They are the protocol's central contribution: because the request
+// distribution algorithm is deterministic given request counts, a host can
+// bound — from purely local knowledge — how much load any potential
+// migration or replication can add to the recipient or remove from itself,
+// and therefore relocate many objects at once without waiting for fresh
+// load observations after each move. The bounds below are stated for the
+// distribution constant 2 used throughout the paper.
+
+// ReplicationSourceMaxDecrease bounds how much the load on source host i
+// may drop after it replicates object x elsewhere: at most (3/4)·ℓ where ℓ
+// is the load on x_i before replication (Theorem 1). The offloading host
+// subtracts this from its lower-bound load estimate.
+func ReplicationSourceMaxDecrease(objLoad float64) float64 {
+	return 0.75 * objLoad
+}
+
+// ReplicationTargetMaxIncrease bounds how much the load on recipient host j
+// may grow after it accepts a replica of x from host i: at most 4·ℓ/aff(x_i)
+// (Theorem 2). The recipient adds this to its upper-bound load estimate.
+func ReplicationTargetMaxIncrease(objLoad float64, aff int) float64 {
+	if aff < 1 {
+		aff = 1
+	}
+	return 4 * objLoad / float64(aff)
+}
+
+// MigrationSourceMaxDecrease bounds how much the load on source host i may
+// drop after it migrates one affinity unit of x to host j: at most
+// ℓ/aff + (3/4)·ℓ·(aff-1)/aff (Theorem 3).
+func MigrationSourceMaxDecrease(objLoad float64, aff int) float64 {
+	if aff < 1 {
+		aff = 1
+	}
+	a := float64(aff)
+	return objLoad/a + 0.75*objLoad*(a-1)/a
+}
+
+// MigrationTargetMaxIncrease bounds how much the load on recipient host j
+// may grow after a migration of x from host i: at most 4·ℓ/aff(x_i)
+// (Theorem 4).
+func MigrationTargetMaxIncrease(objLoad float64, aff int) float64 {
+	return ReplicationTargetMaxIncrease(objLoad, aff)
+}
+
+// MinUnitAccessAfterReplication is Theorem 5: if hosts replicate only when
+// the unit access count exceeds m, then after replication every replica's
+// unit access count exceeds m/4 — even under concurrent independent
+// replications and migrations. With the stability constraint 4u < m this
+// guarantees freshly created replicas are never immediately dropped, which
+// is what lets each host decide autonomously without vicious
+// create/delete cycles.
+func MinUnitAccessAfterReplication(m float64) float64 {
+	return m / 4
+}

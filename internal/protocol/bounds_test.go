@@ -1,0 +1,75 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundFormulas(t *testing.T) {
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"thm1: repl source decrease", ReplicationSourceMaxDecrease(100), 75},
+		{"thm2: repl target increase aff=1", ReplicationTargetMaxIncrease(100, 1), 400},
+		{"thm2: repl target increase aff=4", ReplicationTargetMaxIncrease(100, 4), 100},
+		{"thm3: migr source decrease aff=1", MigrationSourceMaxDecrease(100, 1), 100},
+		{"thm3: migr source decrease aff=2", MigrationSourceMaxDecrease(100, 2), 50 + 37.5},
+		{"thm3: migr source decrease aff=4", MigrationSourceMaxDecrease(100, 4), 25 + 56.25},
+		{"thm4: migr target increase aff=2", MigrationTargetMaxIncrease(100, 2), 200},
+		{"thm5: min unit access", MinUnitAccessAfterReplication(0.18), 0.045},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if math.Abs(tc.got-tc.want) > 1e-12 {
+				t.Fatalf("got %v, want %v", tc.got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBoundsDegenerateAffinity(t *testing.T) {
+	// Zero or negative affinity must be treated as 1, not divide by zero.
+	if got := ReplicationTargetMaxIncrease(10, 0); got != 40 {
+		t.Errorf("aff=0 target increase = %v, want 40", got)
+	}
+	if got := MigrationSourceMaxDecrease(10, 0); got != 10 {
+		t.Errorf("aff=0 migration source decrease = %v, want 10", got)
+	}
+}
+
+// TestMigrationBoundsDominateProperty: a migration removes the whole unit
+// plus replication spillover, so Theorem 3's bound must always be at least
+// Theorem 1's unit share, and target bounds must be positive and shrink
+// with affinity.
+func TestMigrationBoundsDominateProperty(t *testing.T) {
+	f := func(loadRaw uint16, affRaw uint8) bool {
+		load := float64(loadRaw)/100 + 0.01
+		aff := int(affRaw)%8 + 1
+		migr := MigrationSourceMaxDecrease(load, aff)
+		if migr < load/float64(aff)-1e-9 {
+			return false
+		}
+		if migr > load+1e-9 { // cannot shed more than the object's whole load
+			return false
+		}
+		inc1 := ReplicationTargetMaxIncrease(load, aff)
+		inc2 := ReplicationTargetMaxIncrease(load, aff+1)
+		return inc1 > 0 && inc2 < inc1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationSourceDecreaseAff1EqualsFullLoad(t *testing.T) {
+	// With affinity 1 a migration removes the object entirely: the bound
+	// must equal the object's whole load.
+	for _, load := range []float64{0.5, 1, 7, 123.25} {
+		if got := MigrationSourceMaxDecrease(load, 1); math.Abs(got-load) > 1e-12 {
+			t.Fatalf("load %v: bound = %v, want full load", load, got)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimatorInactivePassthrough(t *testing.T) {
+	var e LoadEstimator
+	if got := e.LoadForAccept(42); got != 42 {
+		t.Errorf("LoadForAccept = %v, want measured 42", got)
+	}
+	if got := e.LoadForOffload(42); got != 42 {
+		t.Errorf("LoadForOffload = %v, want measured 42", got)
+	}
+	if e.UpperActive() || e.LowerActive() {
+		t.Error("fresh estimator has active estimates")
+	}
+}
+
+func TestEstimatorUpperAccumulates(t *testing.T) {
+	var e LoadEstimator
+	e.OnAccept(10*time.Second, 50, 8) // seeds from measured 50
+	if got := e.LoadForAccept(50); got != 58 {
+		t.Fatalf("upper after first accept = %v, want 58", got)
+	}
+	e.OnAccept(11*time.Second, 999 /* measured ignored once active */, 4)
+	if got := e.LoadForAccept(50); got != 62 {
+		t.Fatalf("upper after second accept = %v, want 62", got)
+	}
+	// Offload side unaffected.
+	if got := e.LoadForOffload(50); got != 50 {
+		t.Fatalf("LoadForOffload = %v, want measured 50", got)
+	}
+}
+
+func TestEstimatorLowerAccumulatesAndClamps(t *testing.T) {
+	var e LoadEstimator
+	e.OnShed(10*time.Second, 20, 15)
+	if got := e.LoadForOffload(20); got != 5 {
+		t.Fatalf("lower = %v, want 5", got)
+	}
+	e.OnShed(11*time.Second, 20, 50)
+	if got := e.LoadForOffload(20); got != 0 {
+		t.Fatalf("lower = %v, want clamped 0", got)
+	}
+	if got := e.LoadForAccept(20); got != 20 {
+		t.Fatalf("LoadForAccept = %v, want measured 20", got)
+	}
+}
+
+func TestEstimatorRetiresAfterCleanInterval(t *testing.T) {
+	var e LoadEstimator
+	e.OnAccept(25*time.Second, 50, 8)
+	e.OnShed(26*time.Second, 50, 5)
+	// Interval [20s, 40s) contains the relocations: still dirty.
+	e.OnIntervalClose(20 * time.Second)
+	if !e.UpperActive() || !e.LowerActive() {
+		t.Fatal("estimates retired although relocations happened mid-interval")
+	}
+	// Interval [40s, 60s) started after both relocations: clean.
+	e.OnIntervalClose(40 * time.Second)
+	if e.UpperActive() || e.LowerActive() {
+		t.Fatal("estimates not retired after clean interval")
+	}
+	if got := e.LoadForAccept(33); got != 33 {
+		t.Fatalf("LoadForAccept = %v, want measured", got)
+	}
+}
+
+func TestEstimatorRelocationAtIntervalStartCounts(t *testing.T) {
+	// An acquisition at exactly the interval start is reflected in that
+	// interval's measurement, so the estimate may retire.
+	var e LoadEstimator
+	e.OnAccept(40*time.Second, 10, 4)
+	e.OnIntervalClose(40 * time.Second)
+	if e.UpperActive() {
+		t.Fatal("estimate should retire when interval starts at acquisition time")
+	}
+}
+
+func TestEstimatorNewAcceptReseedsFromMeasured(t *testing.T) {
+	var e LoadEstimator
+	e.OnAccept(5*time.Second, 50, 8)
+	e.OnIntervalClose(10 * time.Second) // clean: retires
+	e.OnAccept(35*time.Second, 60, 2)   // re-seeds from new measured load
+	if got := e.LoadForAccept(60); got != 62 {
+		t.Fatalf("re-seeded upper = %v, want 62", got)
+	}
+}
+
+func TestEstimatorBounds(t *testing.T) {
+	var e LoadEstimator
+	e.OnAccept(time.Second, 40, 10)
+	e.OnShed(time.Second, 40, 5)
+	lo, hi := e.Bounds(40)
+	if lo != 35 || hi != 50 {
+		t.Fatalf("Bounds = (%v, %v), want (35, 50)", lo, hi)
+	}
+	var fresh LoadEstimator
+	lo, hi = fresh.Bounds(40)
+	if lo != 40 || hi != 40 {
+		t.Fatalf("fresh Bounds = (%v, %v), want (40, 40)", lo, hi)
+	}
+}
+
+// TestEstimatorSandwichInvariant mimics Figure 8b: across a run of
+// accepts, sheds and interval closes, lower <= upper must always hold
+// whenever both are active, and both must bracket the seeded measurement.
+func TestEstimatorSandwichInvariant(t *testing.T) {
+	var e LoadEstimator
+	measured := 60.0
+	now := time.Duration(0)
+	for step := 0; step < 200; step++ {
+		now += time.Second
+		switch step % 5 {
+		case 0:
+			e.OnAccept(now, measured, float64(step%7))
+		case 2:
+			e.OnShed(now, measured, float64(step%5))
+		case 4:
+			e.OnIntervalClose(now - 3*time.Second)
+		}
+		lo, hi := e.Bounds(measured)
+		if lo > hi {
+			t.Fatalf("step %d: lower %v > upper %v", step, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,548 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"radar/internal/object"
+	"radar/internal/routing"
+	"radar/internal/topology"
+)
+
+// RedirectorControl is the control-plane interface a host needs from the
+// redirector responsible for an object: replica-set notifications and
+// deletion arbitration. *Redirector implements it; the simulator may wrap
+// it to add network charging.
+type RedirectorControl interface {
+	NotifyReplicaChange(id object.ID, host topology.NodeID, aff int)
+	RequestDrop(id object.ID, host topology.NodeID) bool
+	ReplicaCount(id object.ID) int
+}
+
+// Env wires a host into its world. All fields except Observer and
+// CanReplicate are required.
+type Env struct {
+	// Routes answers distance and preference-path queries (the stand-in
+	// for the router databases of a real deployment).
+	Routes *routing.Table
+	// RedirectorFor returns the redirector responsible for an object
+	// (the URL namespace may be hash-partitioned over several).
+	RedirectorFor func(id object.ID) RedirectorControl
+	// Peer returns the host running on node p, for CreateObj requests.
+	Peer func(p topology.NodeID) *Host
+	// FindRecipient locates an offload recipient: a host (other than
+	// exclude) whose load is below the low watermark. It models the
+	// periodic load-report exchange of §4.2.2.
+	FindRecipient func(exclude topology.NodeID) (topology.NodeID, bool)
+	// CopyObject charges an object transfer from -> to to the network.
+	CopyObject func(now time.Duration, from, to topology.NodeID, id object.ID)
+	// CanReplicate, if non-nil, gates replication per object — the
+	// consistency hook of §5 (category-3 objects cap their replica
+	// count). Migration is never gated.
+	CanReplicate func(id object.ID, currentReplicas int) bool
+	// Observer, if non-nil, receives placement events.
+	Observer Observer
+}
+
+func (e *Env) validate() error {
+	switch {
+	case e.Routes == nil:
+		return fmt.Errorf("%w: Routes", ErrNilDependency)
+	case e.RedirectorFor == nil:
+		return fmt.Errorf("%w: RedirectorFor", ErrNilDependency)
+	case e.Peer == nil:
+		return fmt.Errorf("%w: Peer", ErrNilDependency)
+	case e.FindRecipient == nil:
+		return fmt.Errorf("%w: FindRecipient", ErrNilDependency)
+	case e.CopyObject == nil:
+		return fmt.Errorf("%w: CopyObject", ErrNilDependency)
+	}
+	return nil
+}
+
+// Host is one hosting server's placement state machine. It services
+// requests (accumulating access counts), periodically runs the replica
+// placement algorithm of Fig. 3, serves CreateObj requests from peers
+// (Fig. 4), and offloads under high load (Fig. 5). Host is not safe for
+// concurrent use; the simulation is a sequential program over virtual time.
+type Host struct {
+	// ID is the node this host runs on.
+	ID topology.NodeID
+
+	params   Params
+	env      Env
+	loads    LoadSource
+	est      LoadEstimator
+	objects  map[object.ID]*ObjectState
+	numNodes int
+
+	offloading    bool
+	lastPlacement time.Duration
+
+	// Stats accumulates protocol activity counters for reports.
+	Stats HostStats
+}
+
+// HostStats counts a host's protocol activity.
+type HostStats struct {
+	GeoMigrations    int64
+	GeoReplications  int64
+	LoadMigrations   int64
+	LoadReplications int64
+	Drops            int64
+	AffinityDecrs    int64
+	RefusalsSent     int64
+	RefusalsGot      int64
+	OffloadRuns      int64
+	Accepted         int64
+	// Refusal breakdown by which guard fired.
+	RefusedHalt    int64 // relocation halt while estimates stay dirty
+	RefusedLW      int64 // accept-side load at or above the low watermark
+	RefusedHW      int64 // migration would push load past the high watermark
+	RefusedStorage int64 // storage capacity exhausted (§2.1 vector load)
+}
+
+// Params returns the host's effective (possibly weight-scaled) parameters.
+func (h *Host) Params() Params { return h.params }
+
+// NewHost builds a host on node id with the given parameters, wiring and
+// load source.
+func NewHost(id topology.NodeID, params Params, env Env, loads LoadSource) (*Host, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if loads == nil {
+		return nil, fmt.Errorf("%w: loads", ErrNilDependency)
+	}
+	if env.Observer == nil {
+		env.Observer = nopObserver{}
+	}
+	return &Host{
+		ID:       id,
+		params:   params,
+		env:      env,
+		loads:    loads,
+		objects:  make(map[object.ID]*ObjectState),
+		numNodes: env.Routes.NumNodes(),
+	}, nil
+}
+
+// SeedObject installs an initial replica (simulation bootstrap). It does
+// not notify the redirector; the simulator seeds both sides.
+func (h *Host) SeedObject(id object.ID) {
+	if _, ok := h.objects[id]; !ok {
+		st := newObjectState(h.numNodes)
+		st.AcquiredAt = -1 // before any window: immediately eligible
+		h.objects[id] = st
+	}
+}
+
+// Has reports whether the host currently holds a replica of id.
+func (h *Host) Has(id object.ID) bool {
+	_, ok := h.objects[id]
+	return ok
+}
+
+// Affinity returns the affinity of the host's replica of id (0 if absent).
+func (h *Host) Affinity(id object.ID) int {
+	if st, ok := h.objects[id]; ok {
+		return st.Aff
+	}
+	return 0
+}
+
+// Objects returns the IDs of all hosted objects, sorted.
+func (h *Host) Objects() []object.ID {
+	ids := make([]object.ID, 0, len(h.objects))
+	for id := range h.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NumObjects returns the number of hosted objects.
+func (h *Host) NumObjects() int { return len(h.objects) }
+
+// Offloading reports whether the host is in offloading mode.
+func (h *Host) Offloading() bool { return h.offloading }
+
+// Estimator exposes the host's load estimator (read-only use by metrics).
+func (h *Host) Estimator() *LoadEstimator { return &h.est }
+
+// OnRequest records a serviced request for id that entered at gateway g:
+// every node on the preference path from this host to g is charged one
+// access-count appearance (paper §4.1). Requests for objects the host no
+// longer holds (dropped while queued) are counted against no state.
+func (h *Host) OnRequest(id object.ID, g topology.NodeID) {
+	st, ok := h.objects[id]
+	if !ok {
+		return
+	}
+	st.recordPath(h.env.Routes.PreferencePath(h.ID, g))
+}
+
+// OnMeasurementIntervalClose informs the host that the load measurement
+// interval which began at start completed, letting estimates retire
+// (paper §2.1).
+func (h *Host) OnMeasurementIntervalClose(start time.Duration) {
+	h.est.OnIntervalClose(start)
+}
+
+// PlacementSummary reports what one DecidePlacement run did.
+type PlacementSummary struct {
+	Dropped     int
+	Migrated    int
+	Replicated  int
+	AffReduced  int
+	OffloadRan  bool
+	OffloadSent int
+}
+
+// moved reports whether any object was dropped, migrated or replicated.
+func (s PlacementSummary) moved() bool {
+	return s.Dropped > 0 || s.Migrated > 0 || s.Replicated > 0 || s.AffReduced > 0
+}
+
+// DecidePlacement runs the replica placement algorithm of Fig. 3 at
+// virtual time now: update the offloading mode against the watermarks,
+// then for every hosted object decide among dropping an affinity unit
+// (unit access count below u), geo-migrating (a candidate appears on more
+// than MIGR_RATIO of preference paths), or geo-replicating (unit access
+// count above m and a candidate above REPL_RATIO); finally, if the host is
+// offloading and the geo pass moved nothing, run the offloading protocol.
+// Access counts are reset at the end of the run.
+func (h *Host) DecidePlacement(now time.Duration) PlacementSummary {
+	var sum PlacementSummary
+	prev := h.lastPlacement
+	period := (now - prev).Seconds()
+	h.lastPlacement = now
+	if period <= 0 {
+		return sum
+	}
+
+	load := h.est.LoadForOffload(h.loads.Load())
+	if load > h.params.HighWatermark {
+		h.offloading = true
+	}
+	if load < h.params.LowWatermark {
+		h.offloading = false
+	}
+
+	for _, id := range h.Objects() {
+		st, ok := h.objects[id]
+		if !ok {
+			continue // dropped earlier in this run
+		}
+		if st.AcquiredAt > prev {
+			continue // acquired mid-window: no full observation yet
+		}
+		ua := st.unitAccess(h.ID, period)
+		dropped, migrated := false, false
+		if ua < h.params.DeletionThreshold {
+			switch h.reduceAffinity(now, id, st) {
+			case affDropped:
+				dropped = true
+				sum.Dropped++
+			case affDecremented:
+				sum.AffReduced++
+			case affUnchanged:
+				// Sole replica of a cold object: the redirector refused
+				// the drop; the object stays put.
+			}
+		} else {
+			if to, ok := h.tryGeoMigrate(now, id, st); ok {
+				migrated = true
+				sum.Migrated++
+				h.Stats.GeoMigrations++
+				h.env.Observer.OnMigrate(now, id, h.ID, to, GeoMove)
+			}
+		}
+		if !dropped && !migrated && ua > h.params.ReplicationThreshold {
+			if to, ok := h.tryGeoReplicate(now, id, st); ok {
+				sum.Replicated++
+				h.Stats.GeoReplications++
+				h.env.Observer.OnReplicate(now, id, h.ID, to, GeoMove)
+			}
+		}
+	}
+
+	// Offload when the geo pass gave no relief: either it moved nothing
+	// (the Fig. 3 condition) or, despite its moves, the lower-bound load
+	// estimate still exceeds the high watermark — without the second arm
+	// a host whose geo pass always sheds a trickle would stay overloaded
+	// forever while idle far-away hosts are never considered, because geo
+	// moves can only target nodes on preference paths.
+	if h.offloading &&
+		(!sum.moved() || h.est.LoadForOffload(h.loads.Load()) > h.params.HighWatermark) {
+		sum.OffloadRan = true
+		sum.OffloadSent = h.offload(now, period)
+		h.Stats.OffloadRuns++
+	}
+
+	for _, st := range h.objects {
+		st.reset()
+	}
+	return sum
+}
+
+// candidatesByDistanceDesc returns the object's candidate nodes ordered by
+// decreasing distance from this host (the paper's responsiveness
+// heuristic: place replicas on the farthest qualified candidate first).
+// Under the NeighborOnly baseline only direct neighbors qualify.
+func (h *Host) candidatesByDistanceDesc(st *ObjectState) []topology.NodeID {
+	cands := st.candidates(h.ID)
+	if h.params.NeighborOnly {
+		kept := cands[:0]
+		for _, p := range cands {
+			if h.env.Routes.Distance(h.ID, p) == 1 {
+				kept = append(kept, p)
+			}
+		}
+		cands = kept
+	}
+	h.env.Routes.SortByDistanceDesc(h.ID, cands)
+	return cands
+}
+
+// tryGeoMigrate attempts the migration branch of Fig. 3. It returns the
+// recipient on success.
+func (h *Host) tryGeoMigrate(now time.Duration, id object.ID, st *ObjectState) (topology.NodeID, bool) {
+	total := st.Cnt[h.ID]
+	if total == 0 {
+		return 0, false
+	}
+	unitLoad := h.loads.ObjectLoad(id) / float64(st.Aff)
+	for _, p := range h.candidatesByDistanceDesc(st) {
+		if float64(st.Cnt[p])/float64(total) <= h.params.MigrRatio {
+			continue
+		}
+		peer := h.env.Peer(p)
+		if peer == nil {
+			continue
+		}
+		if peer.CreateObj(now, Migrate, id, unitLoad, st.Aff, h.ID) {
+			h.est.OnShed(now, h.loads.Load(), MigrationSourceMaxDecrease(h.loads.ObjectLoad(id), st.Aff))
+			h.reduceAffinity(now, id, st)
+			return p, true
+		}
+		h.Stats.RefusalsGot++
+		h.env.Observer.OnRefuse(now, id, h.ID, p, Migrate)
+	}
+	return 0, false
+}
+
+// tryGeoReplicate attempts the replication branch of Fig. 3. It returns
+// the recipient on success.
+func (h *Host) tryGeoReplicate(now time.Duration, id object.ID, st *ObjectState) (topology.NodeID, bool) {
+	total := st.Cnt[h.ID]
+	if total == 0 {
+		return 0, false
+	}
+	if h.env.CanReplicate != nil && !h.env.CanReplicate(id, h.env.RedirectorFor(id).ReplicaCount(id)) {
+		return 0, false
+	}
+	unitLoad := h.loads.ObjectLoad(id) / float64(st.Aff)
+	for _, p := range h.candidatesByDistanceDesc(st) {
+		if float64(st.Cnt[p])/float64(total) <= h.params.ReplRatio {
+			continue
+		}
+		peer := h.env.Peer(p)
+		if peer == nil {
+			continue
+		}
+		if peer.CreateObj(now, Replicate, id, unitLoad, st.Aff, h.ID) {
+			h.est.OnShed(now, h.loads.Load(), ReplicationSourceMaxDecrease(h.loads.ObjectLoad(id)))
+			return p, true
+		}
+		h.Stats.RefusalsGot++
+		h.env.Observer.OnRefuse(now, id, h.ID, p, Replicate)
+	}
+	return 0, false
+}
+
+// affResult is the outcome of a ReduceAffinity attempt.
+type affResult int
+
+const (
+	affUnchanged affResult = iota
+	affDecremented
+	affDropped
+)
+
+// reduceAffinity implements ReduceAffinity of Fig. 3: decrement the
+// replica's affinity, or — when it would reach zero — ask the redirector
+// for permission to drop the whole replica (the redirector never allows
+// the last replica to go).
+func (h *Host) reduceAffinity(now time.Duration, id object.ID, st *ObjectState) affResult {
+	red := h.env.RedirectorFor(id)
+	if st.Aff > 1 {
+		st.Aff--
+		h.Stats.AffinityDecrs++
+		red.NotifyReplicaChange(id, h.ID, st.Aff)
+		return affDecremented
+	}
+	if red.RequestDrop(id, h.ID) {
+		delete(h.objects, id)
+		h.Stats.Drops++
+		h.env.Observer.OnDrop(now, id, h.ID)
+		return affDropped
+	}
+	return affUnchanged
+}
+
+// CreateObj serves a replica creation request from peer host `from`
+// (Fig. 4): refuse unless this host's accept-side load is below the low
+// watermark; for migrations additionally refuse if the upper-bound load
+// after the move would exceed the high watermark (the vicious-cycle guard
+// — replications deliberately skip it so an overloaded neighborhood can
+// bootstrap replication). On acceptance the object is copied if absent
+// (affinity 1) or its affinity incremented, the redirector is notified
+// after the fact, and this host's upper-bound load estimate grows by the
+// Theorem 2/4 bound 4·unitLoad.
+func (h *Host) CreateObj(now time.Duration, method Method, id object.ID, unitLoad float64, srcAff int, from topology.NodeID) bool {
+	// §2.1 footnote 2: when back-to-back acquisitions have kept the
+	// upper-bound estimate alive too long, halt further acquisitions so a
+	// clean measurement interval can complete and real load data returns.
+	if h.params.EstimateHaltAfter > 0 && h.est.UpperActiveFor(now) > h.params.EstimateHaltAfter {
+		h.Stats.RefusalsSent++
+		h.Stats.RefusedHalt++
+		return false
+	}
+	// Storage component of the vector load (§2.1): a full host refuses.
+	// An incoming affinity increment occupies no extra storage.
+	if h.params.StorageCapacity > 0 && !h.Has(id) && len(h.objects) >= h.params.StorageCapacity {
+		h.Stats.RefusalsSent++
+		h.Stats.RefusedStorage++
+		return false
+	}
+	loadForAccept := h.est.LoadForAccept(h.loads.Load())
+	if loadForAccept > h.params.LowWatermark {
+		h.Stats.RefusalsSent++
+		h.Stats.RefusedLW++
+		return false
+	}
+	if method == Migrate && loadForAccept+4*unitLoad > h.params.HighWatermark {
+		h.Stats.RefusalsSent++
+		h.Stats.RefusedHW++
+		return false
+	}
+	st, have := h.objects[id]
+	if !have {
+		h.env.CopyObject(now, from, h.ID, id)
+		st = newObjectState(h.numNodes)
+		st.AcquiredAt = now
+		h.objects[id] = st
+	} else {
+		st.Aff++
+	}
+	h.env.RedirectorFor(id).NotifyReplicaChange(id, h.ID, st.Aff)
+	h.est.OnAccept(now, h.loads.Load(), 4*unitLoad)
+	h.Stats.Accepted++
+	_ = srcAff // affinity travels in the request for symmetry with Fig. 4; bounds use unitLoad directly
+	return true
+}
+
+// offload implements the host offloading protocol of Fig. 5: find a
+// recipient below the low watermark, then walk this host's objects in
+// decreasing order of their foreign-request share, migrating those at or
+// below the replication threshold and replicating those above it (so a
+// load move never undoes a previous geo-replication), updating this
+// host's lower-bound and the recipient's upper-bound load estimates after
+// every move. The walk stops when either estimate crosses the low
+// watermark, a request is refused, or objects run out. It returns the
+// number of objects moved.
+func (h *Host) offload(now time.Duration, period float64) int {
+	rid, ok := h.env.FindRecipient(h.ID)
+	if !ok {
+		return 0
+	}
+	if h.params.NeighborOnly && h.env.Routes.Distance(h.ID, rid) != 1 {
+		return 0 // the related-work baseline cannot shed to distant hosts
+	}
+	peer := h.env.Peer(rid)
+	if peer == nil {
+		return 0
+	}
+	recipientLoad := peer.est.LoadForAccept(peer.loads.Load())
+	moved := 0
+
+	type cand struct {
+		id      object.ID
+		foreign float64
+	}
+	windowStart := now - time.Duration(period*float64(time.Second))
+	var cands []cand
+	for _, id := range h.Objects() {
+		st := h.objects[id]
+		if st.AcquiredAt > windowStart {
+			continue // acquired mid-window: no full observation yet
+		}
+		total := st.Cnt[h.ID]
+		if total == 0 {
+			continue
+		}
+		best := int64(0)
+		for p, c := range st.Cnt {
+			if topology.NodeID(p) != h.ID && c > best {
+				best = c
+			}
+		}
+		cands = append(cands, cand{id: id, foreign: float64(best) / float64(total)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].foreign != cands[j].foreign {
+			return cands[i].foreign > cands[j].foreign
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	for _, c := range cands {
+		if h.params.MaxOffloadPerRun > 0 && moved >= h.params.MaxOffloadPerRun {
+			break
+		}
+		if h.est.LoadForOffload(h.loads.Load()) <= h.params.LowWatermark || recipientLoad >= h.params.LowWatermark {
+			break
+		}
+		st, ok := h.objects[c.id]
+		if !ok {
+			continue
+		}
+		objLoad := h.loads.ObjectLoad(c.id)
+		unitLoad := objLoad / float64(st.Aff)
+		if st.unitAccess(h.ID, period) <= h.params.ReplicationThreshold {
+			if !peer.CreateObj(now, Migrate, c.id, unitLoad, st.Aff, h.ID) {
+				h.Stats.RefusalsGot++
+				h.env.Observer.OnRefuse(now, c.id, h.ID, rid, Migrate)
+				break
+			}
+			h.est.OnShed(now, h.loads.Load(), MigrationSourceMaxDecrease(objLoad, st.Aff))
+			recipientLoad += MigrationTargetMaxIncrease(objLoad, st.Aff)
+			h.reduceAffinity(now, c.id, st)
+			h.Stats.LoadMigrations++
+			h.env.Observer.OnMigrate(now, c.id, h.ID, rid, LoadMove)
+		} else {
+			// Hot objects are only ever replicated during offload (a load
+			// migration could undo a previous geo-replication), so when
+			// the consistency layer bars replication the object stays.
+			if h.env.CanReplicate != nil && !h.env.CanReplicate(c.id, h.env.RedirectorFor(c.id).ReplicaCount(c.id)) {
+				continue
+			}
+			if !peer.CreateObj(now, Replicate, c.id, unitLoad, st.Aff, h.ID) {
+				h.Stats.RefusalsGot++
+				h.env.Observer.OnRefuse(now, c.id, h.ID, rid, Replicate)
+				break
+			}
+			h.est.OnShed(now, h.loads.Load(), ReplicationSourceMaxDecrease(objLoad))
+			recipientLoad += ReplicationTargetMaxIncrease(objLoad, st.Aff)
+			h.Stats.LoadReplications++
+			h.env.Observer.OnReplicate(now, c.id, h.ID, rid, LoadMove)
+		}
+		moved++
+	}
+	return moved
+}

@@ -1,0 +1,79 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if p.HighWatermark != 90 || p.LowWatermark != 80 {
+		t.Errorf("watermarks = %v/%v, want 90/80 (Table 1 low-load)", p.HighWatermark, p.LowWatermark)
+	}
+	if p.DeletionThreshold != 0.03 {
+		t.Errorf("u = %v, want 0.03 req/s", p.DeletionThreshold)
+	}
+	if p.ReplicationThreshold != 0.18 {
+		t.Errorf("m = %v, want 6u = 0.18 req/s", p.ReplicationThreshold)
+	}
+	if p.MigrRatio != 0.6 {
+		t.Errorf("MIGR_RATIO = %v, want 0.6", p.MigrRatio)
+	}
+	if p.ReplRatio != 1.0/6.0 {
+		t.Errorf("REPL_RATIO = %v, want 1/6", p.ReplRatio)
+	}
+	if p.DistConstant != 2 {
+		t.Errorf("distribution constant = %v, want 2", p.DistConstant)
+	}
+}
+
+func TestHighLoadParamsMatchFigure9(t *testing.T) {
+	p := HighLoadParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("high-load params invalid: %v", err)
+	}
+	if p.HighWatermark != 50 || p.LowWatermark != 40 {
+		t.Errorf("watermarks = %v/%v, want 50/40 (Figure 9)", p.HighWatermark, p.LowWatermark)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	base := DefaultParams()
+	tests := []struct {
+		name    string
+		mutate  func(*Params)
+		wantErr error
+	}{
+		{"lw >= hw", func(p *Params) { p.LowWatermark = p.HighWatermark }, ErrWatermarks},
+		{"lw zero", func(p *Params) { p.LowWatermark = 0 }, ErrWatermarks},
+		{"m = 4u violates theorem 5", func(p *Params) { p.ReplicationThreshold = 4 * p.DeletionThreshold }, ErrThresholds},
+		{"u zero", func(p *Params) { p.DeletionThreshold = 0 }, ErrThresholds},
+		{"migr ratio at 0.5 allows ping-pong", func(p *Params) { p.MigrRatio = 0.5 }, ErrMigrRatio},
+		{"migr ratio above 1", func(p *Params) { p.MigrRatio = 1.1 }, ErrMigrRatio},
+		{"repl ratio >= migr ratio", func(p *Params) { p.ReplRatio = p.MigrRatio }, ErrReplRatio},
+		{"repl ratio zero", func(p *Params) { p.ReplRatio = 0 }, ErrReplRatio},
+		{"dist constant 1", func(p *Params) { p.DistConstant = 1 }, ErrDistConstant},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestStabilityConstraintIsTheorem5(t *testing.T) {
+	// The m/4 floor of Theorem 5 must exceed the deletion threshold for
+	// the paper's arguments to hold; Validate must enforce it strictly.
+	p := DefaultParams()
+	if MinUnitAccessAfterReplication(p.ReplicationThreshold) <= p.DeletionThreshold {
+		t.Fatalf("m/4 = %v must exceed u = %v",
+			MinUnitAccessAfterReplication(p.ReplicationThreshold), p.DeletionThreshold)
+	}
+}

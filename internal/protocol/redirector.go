@@ -1,0 +1,292 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"radar/internal/object"
+	"radar/internal/routing"
+	"radar/internal/topology"
+)
+
+// Policy selects the request distribution algorithm a redirector runs.
+// PolicyPaper is the contribution; the others are the strawmen of §3 kept
+// as ablation baselines.
+type Policy int
+
+// Distribution policies.
+const (
+	// PolicyPaper is Fig. 2: direct the request to the closest replica
+	// unless its unit request count exceeds DistConstant times the minimum
+	// unit request count, in which case use the least-requested replica.
+	PolicyPaper Policy = iota + 1
+	// PolicyRoundRobin rotates over replicas, oblivious to proximity.
+	PolicyRoundRobin
+	// PolicyClosest always picks the closest replica, oblivious to load.
+	PolicyClosest
+)
+
+// String returns the policy's report name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyPaper:
+		return "paper"
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyClosest:
+		return "closest"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Replica is the redirector's view of one object replica.
+type Replica struct {
+	// Host is the node holding the replica.
+	Host topology.NodeID
+	// Aff is the replica's affinity: the compact representation of
+	// multiple affinity units of the same object on the same host.
+	Aff int
+	// Rcnt counts how many times the redirector chose this replica since
+	// the last replica-set change.
+	Rcnt int64
+}
+
+// unitRcnt is the replica's unit request count rcnt/aff (Fig. 2).
+func (r Replica) unitRcnt() float64 { return float64(r.Rcnt) / float64(r.Aff) }
+
+type redirEntry struct {
+	replicas []Replica // sorted by Host for deterministic iteration
+	cursor   int       // round-robin position (baseline policy)
+}
+
+// Redirector implements the request distribution side of the protocol: it
+// tracks the replica set of each object it is responsible for, chooses a
+// replica for every request (Fig. 2), and arbitrates replica deletions so
+// the last copy of an object is never dropped. In a deployment redirectors
+// are spread over the platform with the URL namespace hash-partitioned
+// among them; Location records the node this redirector is co-located
+// with, so the simulator can charge forwarding latency.
+type Redirector struct {
+	// Location is the node the redirector runs on.
+	Location topology.NodeID
+
+	routes  *routing.Table
+	policy  Policy
+	cRatio  float64
+	entries map[object.ID]*redirEntry
+
+	// chooseCount counts ChooseReplica calls, for reports.
+	chooseCount int64
+}
+
+// Errors returned by Redirector methods.
+var (
+	ErrUnknownObject  = errors.New("protocol: redirector has no replicas recorded for object")
+	ErrUnknownReplica = errors.New("protocol: no such replica recorded")
+)
+
+// NewRedirector returns a redirector at location using the given routes,
+// distribution policy and distribution constant (Params.DistConstant).
+func NewRedirector(location topology.NodeID, routes *routing.Table, policy Policy, distConstant float64) (*Redirector, error) {
+	if routes == nil {
+		return nil, fmt.Errorf("%w: routes", ErrNilDependency)
+	}
+	if distConstant <= 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrDistConstant, distConstant)
+	}
+	if policy < PolicyPaper || policy > PolicyClosest {
+		return nil, fmt.Errorf("protocol: unknown policy %d", policy)
+	}
+	return &Redirector{
+		Location: location,
+		routes:   routes,
+		policy:   policy,
+		cRatio:   distConstant,
+		entries:  make(map[object.ID]*redirEntry),
+	}, nil
+}
+
+// ChooseReplica picks the host to service a request for id that entered
+// the platform at gateway g, and charges the chosen replica's request
+// count. This is the algorithm of Fig. 2 (under PolicyPaper).
+func (r *Redirector) ChooseReplica(g topology.NodeID, id object.ID) (topology.NodeID, error) {
+	e := r.entries[id]
+	if e == nil || len(e.replicas) == 0 {
+		return 0, fmt.Errorf("%w: object %d", ErrUnknownObject, id)
+	}
+	r.chooseCount++
+	switch r.policy {
+	case PolicyRoundRobin:
+		e.cursor = (e.cursor + 1) % len(e.replicas)
+		rep := &e.replicas[e.cursor]
+		rep.Rcnt++
+		return rep.Host, nil
+	case PolicyClosest:
+		rep := e.closestTo(g, r.routes)
+		rep.Rcnt++
+		return rep.Host, nil
+	default:
+		closest := e.closestTo(g, r.routes)
+		least := e.leastUnitRcnt()
+		chosen := closest
+		if closest.unitRcnt() > r.cRatio*least.unitRcnt() {
+			chosen = least
+		}
+		chosen.Rcnt++
+		return chosen.Host, nil
+	}
+}
+
+// closestTo returns the replica closest to gateway g, breaking distance
+// ties by smaller host ID.
+func (e *redirEntry) closestTo(g topology.NodeID, routes *routing.Table) *Replica {
+	best := &e.replicas[0]
+	bestD := routes.Distance(g, best.Host)
+	for i := 1; i < len(e.replicas); i++ {
+		if d := routes.Distance(g, e.replicas[i].Host); d < bestD {
+			best, bestD = &e.replicas[i], d
+		}
+	}
+	return best
+}
+
+// leastUnitRcnt returns the replica with the smallest unit request count,
+// breaking ties by smaller host ID.
+func (e *redirEntry) leastUnitRcnt() *Replica {
+	best := &e.replicas[0]
+	for i := 1; i < len(e.replicas); i++ {
+		if e.replicas[i].unitRcnt() < best.unitRcnt() {
+			best = &e.replicas[i]
+		}
+	}
+	return best
+}
+
+// NotifyReplicaChange records that host now holds a replica of id with the
+// given affinity, creating the replica record if needed, and resets all of
+// the object's request counts to 1. The reset is the paper's remedy for
+// new replicas being flooded until their counts catch up (§3). Copy
+// creation is notified after the fact, so the recorded set stays a subset
+// of live replicas.
+func (r *Redirector) NotifyReplicaChange(id object.ID, host topology.NodeID, aff int) {
+	if aff < 1 {
+		aff = 1
+	}
+	e := r.entries[id]
+	if e == nil {
+		e = &redirEntry{}
+		r.entries[id] = e
+	}
+	found := false
+	for i := range e.replicas {
+		if e.replicas[i].Host == host {
+			e.replicas[i].Aff = aff
+			found = true
+			break
+		}
+	}
+	if !found {
+		e.replicas = append(e.replicas, Replica{Host: host, Aff: aff})
+		sort.Slice(e.replicas, func(i, j int) bool { return e.replicas[i].Host < e.replicas[j].Host })
+	}
+	e.resetCounts()
+}
+
+// resetCounts sets every replica's request count to 1.
+func (e *redirEntry) resetCounts() {
+	for i := range e.replicas {
+		e.replicas[i].Rcnt = 1
+	}
+}
+
+// RequestDrop arbitrates a host's intention to drop its replica of id
+// (the ReduceAffinity handshake, Fig. 3). It refuses if the replica is the
+// object's last. On approval the replica is removed from the recorded set
+// immediately — deletion is notified before the fact — and the remaining
+// counts are reset.
+func (r *Redirector) RequestDrop(id object.ID, host topology.NodeID) bool {
+	e := r.entries[id]
+	if e == nil || len(e.replicas) <= 1 {
+		return false
+	}
+	for i := range e.replicas {
+		if e.replicas[i].Host == host {
+			e.replicas = append(e.replicas[:i], e.replicas[i+1:]...)
+			e.resetCounts()
+			return true
+		}
+	}
+	return false
+}
+
+// PurgeHost removes every replica recorded on the given host — the
+// control-plane reaction to a host failure. Unlike RequestDrop it may
+// leave an object with no replicas (the object is then unavailable until
+// the host recovers and re-registers). It returns the IDs of the affected
+// objects, sorted. The failure-handling extension is outside the paper's
+// scope (§1.1 positions the protocol as performance-, not
+// availability-oriented) but exercises the same control paths.
+func (r *Redirector) PurgeHost(host topology.NodeID) []object.ID {
+	var affected []object.ID
+	for id, e := range r.entries {
+		for i := range e.replicas {
+			if e.replicas[i].Host == host {
+				e.replicas = append(e.replicas[:i], e.replicas[i+1:]...)
+				e.resetCounts()
+				affected = append(affected, id)
+				break
+			}
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	return affected
+}
+
+// Replicas returns a copy of the recorded replica set for id, sorted by
+// host ID. It returns nil for unknown objects.
+func (r *Redirector) Replicas(id object.ID) []Replica {
+	e := r.entries[id]
+	if e == nil {
+		return nil
+	}
+	out := make([]Replica, len(e.replicas))
+	copy(out, e.replicas)
+	return out
+}
+
+// ReplicaCount returns the number of recorded replicas of id.
+func (r *Redirector) ReplicaCount(id object.ID) int {
+	e := r.entries[id]
+	if e == nil {
+		return 0
+	}
+	return len(e.replicas)
+}
+
+// TotalAffinity returns the sum of affinities over id's replicas.
+func (r *Redirector) TotalAffinity(id object.ID) int {
+	e := r.entries[id]
+	if e == nil {
+		return 0
+	}
+	total := 0
+	for _, rep := range e.replicas {
+		total += rep.Aff
+	}
+	return total
+}
+
+// Objects returns the IDs of all objects with recorded replicas, sorted.
+func (r *Redirector) Objects() []object.ID {
+	ids := make([]object.ID, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ChooseCount returns the number of ChooseReplica calls served.
+func (r *Redirector) ChooseCount() int64 { return r.chooseCount }

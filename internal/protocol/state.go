@@ -1,0 +1,134 @@
+package protocol
+
+import (
+	"time"
+
+	"radar/internal/object"
+	"radar/internal/topology"
+)
+
+// ObjectState is the control state a host keeps per hosted object
+// (paper §4.1): the replica's affinity and, for every node that appeared
+// on the preference paths of requests serviced since the last placement
+// run, the number of those appearances.
+type ObjectState struct {
+	// Aff is this replica's affinity.
+	Aff int
+	// Cnt[p] is the access count of candidate p: how many preference
+	// paths of requests for this object p appeared on since the last
+	// placement decision. Cnt[own host] is the total access count,
+	// because the servicing host heads every preference path.
+	Cnt []int64
+	// AcquiredAt is when this host obtained the replica. An object
+	// acquired partway through the current observation window is exempt
+	// from placement decisions for that window: judging it on a partial
+	// window would systematically under-estimate its unit access count
+	// and drop freshly created replicas (the same measurement-hygiene
+	// principle as §2.1's load estimates).
+	AcquiredAt time.Duration
+}
+
+func newObjectState(numNodes int) *ObjectState {
+	return &ObjectState{Aff: 1, Cnt: make([]int64, numNodes)}
+}
+
+// recordPath charges one appearance to every node on a preference path.
+func (st *ObjectState) recordPath(path []topology.NodeID) {
+	for _, p := range path {
+		st.Cnt[p]++
+	}
+}
+
+// reset clears all access counts for the next placement period.
+func (st *ObjectState) reset() {
+	for i := range st.Cnt {
+		st.Cnt[i] = 0
+	}
+}
+
+// unitAccess returns the unit access count cnt(s,x_s)/aff(x_s) as a rate
+// (requests/sec) over a period of periodSec seconds.
+func (st *ObjectState) unitAccess(self topology.NodeID, periodSec float64) float64 {
+	if periodSec <= 0 {
+		return 0
+	}
+	return float64(st.Cnt[self]) / (float64(st.Aff) * periodSec)
+}
+
+// candidates returns all nodes with non-zero access counts other than the
+// host itself, in ascending node order; the caller reorders by distance.
+func (st *ObjectState) candidates(self topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	for p, c := range st.Cnt {
+		if c > 0 && topology.NodeID(p) != self {
+			out = append(out, topology.NodeID(p))
+		}
+	}
+	return out
+}
+
+// Method distinguishes the two CreateObj request kinds (Fig. 4).
+type Method int
+
+// CreateObj methods.
+const (
+	// Migrate asks the candidate to take over one affinity unit; the
+	// source will drop its unit once the copy exists.
+	Migrate Method = iota + 1
+	// Replicate asks the candidate to host an additional affinity unit.
+	Replicate
+)
+
+// String returns the method's wire name.
+func (m Method) String() string {
+	switch m {
+	case Migrate:
+		return "MIGRATE"
+	case Replicate:
+		return "REPLICATE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// MoveKind classifies a relocation for observers: geo moves are made for
+// proximity by DecidePlacement, load moves by the offloading protocol
+// (paper §2.2 terminology: geo-migrated vs load-migrated).
+type MoveKind int
+
+// Relocation kinds.
+const (
+	GeoMove MoveKind = iota + 1
+	LoadMove
+)
+
+// String returns the kind's report name.
+func (k MoveKind) String() string {
+	if k == GeoMove {
+		return "geo"
+	}
+	return "load"
+}
+
+// Observer receives placement protocol events; the simulator's metrics
+// collector implements it. All methods must be cheap and must not call
+// back into the protocol.
+type Observer interface {
+	// OnMigrate fires when one affinity unit of id moved from -> to.
+	OnMigrate(now time.Duration, id object.ID, from, to topology.NodeID, kind MoveKind)
+	// OnReplicate fires when to accepted a new affinity unit of id.
+	OnReplicate(now time.Duration, id object.ID, from, to topology.NodeID, kind MoveKind)
+	// OnDrop fires when host dropped its whole replica of id.
+	OnDrop(now time.Duration, id object.ID, host topology.NodeID)
+	// OnRefuse fires when a CreateObj request was refused.
+	OnRefuse(now time.Duration, id object.ID, from, to topology.NodeID, method Method)
+}
+
+// nopObserver is used when no observer is wired.
+type nopObserver struct{}
+
+func (nopObserver) OnMigrate(time.Duration, object.ID, topology.NodeID, topology.NodeID, MoveKind) {}
+func (nopObserver) OnReplicate(time.Duration, object.ID, topology.NodeID, topology.NodeID, MoveKind) {
+}
+func (nopObserver) OnDrop(time.Duration, object.ID, topology.NodeID)                            {}
+func (nopObserver) OnRefuse(time.Duration, object.ID, topology.NodeID, topology.NodeID, Method) {}

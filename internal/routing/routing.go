@@ -1,0 +1,188 @@
+// Package routing computes the path and distance information the protocol
+// extracts from router databases in a real deployment (paper §2).
+//
+// Paths are shortest paths by hop count over the backbone topology, with
+// deterministic tie-breaking: a breadth-first tree is grown from every
+// source visiting neighbors in ascending node-ID order, so "when there are
+// equidistant paths between nodes i and j, one path is chosen for all
+// requests from i to j" (paper §6.1). The path from a host to a gateway is
+// the request's preference path: the sequence of hosts co-located with the
+// routers a response passes on its way out of the platform.
+package routing
+
+import (
+	"fmt"
+
+	"radar/internal/topology"
+)
+
+// Table holds precomputed all-pairs routes for one topology.
+type Table struct {
+	topo *topology.Topology
+	n    int
+	// dist[s][d] is the hop count of the chosen path s -> d.
+	dist [][]int
+	// parent[s][d] is the predecessor of d on the BFS tree rooted at s;
+	// parent[s][s] == s.
+	parent [][]topology.NodeID
+	// paths[s][d] is the node sequence s, ..., d (inclusive) of the chosen
+	// path, shared storage — callers must not mutate.
+	paths [][][]topology.NodeID
+}
+
+// New computes routes for topo. Cost is O(V·(V+E)) time and O(V²·diameter)
+// memory for materialized paths — trivial at backbone scale (53 nodes).
+func New(topo *topology.Topology) *Table {
+	n := topo.NumNodes()
+	t := &Table{
+		topo:   topo,
+		n:      n,
+		dist:   make([][]int, n),
+		parent: make([][]topology.NodeID, n),
+		paths:  make([][][]topology.NodeID, n),
+	}
+	for s := 0; s < n; s++ {
+		t.dist[s], t.parent[s] = bfs(topo, topology.NodeID(s))
+	}
+	for s := 0; s < n; s++ {
+		t.paths[s] = make([][]topology.NodeID, n)
+		for d := 0; d < n; d++ {
+			t.paths[s][d] = t.materialize(topology.NodeID(s), topology.NodeID(d))
+		}
+	}
+	return t
+}
+
+// bfs grows a breadth-first tree from src, visiting neighbors in ascending
+// ID order so that the parent of every node is the smallest-ID predecessor
+// at minimal distance discovered first — a deterministic tie-break.
+func bfs(topo *topology.Topology, src topology.NodeID) (dist []int, parent []topology.NodeID) {
+	n := topo.NumNodes()
+	dist = make([]int, n)
+	parent = make([]topology.NodeID, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	queue := make([]topology.NodeID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range topo.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist, parent
+}
+
+func (t *Table) materialize(s, d topology.NodeID) []topology.NodeID {
+	hops := t.dist[s][d]
+	path := make([]topology.NodeID, hops+1)
+	v := d
+	for i := hops; i >= 0; i-- {
+		path[i] = v
+		v = t.parent[s][v]
+	}
+	return path
+}
+
+// Distance returns the hop count between a and b. Unit link costs make
+// distance symmetric even though chosen paths need not be.
+func (t *Table) Distance(a, b topology.NodeID) int { return t.dist[a][b] }
+
+// Path returns the chosen path from s to d as the node sequence s, ..., d.
+// The returned slice is shared; callers must not modify it.
+func (t *Table) Path(s, d topology.NodeID) []topology.NodeID { return t.paths[s][d] }
+
+// PreferencePath returns the preference path of a request that entered at
+// gateway g and is serviced by host s: the hosts co-located with the
+// routers on the response route s -> g, in route order (paper §2). The
+// first element is s and the last is g.
+func (t *Table) PreferencePath(s, g topology.NodeID) []topology.NodeID {
+	return t.paths[s][g]
+}
+
+// NumNodes returns the node count of the underlying topology.
+func (t *Table) NumNodes() int { return t.n }
+
+// AvgDistance returns the mean hop distance from s to every other node.
+func (t *Table) AvgDistance(s topology.NodeID) float64 {
+	if t.n == 1 {
+		return 0
+	}
+	total := 0
+	for d := 0; d < t.n; d++ {
+		total += t.dist[s][d]
+	}
+	return float64(total) / float64(t.n-1)
+}
+
+// MinAvgDistanceNode returns the node whose average hop distance to all
+// other nodes is minimal, breaking ties by smallest ID. The paper
+// co-locates the redirector with this node (§6.1).
+func (t *Table) MinAvgDistanceNode() topology.NodeID {
+	best := topology.NodeID(0)
+	bestAvg := t.AvgDistance(0)
+	for s := 1; s < t.n; s++ {
+		if avg := t.AvgDistance(topology.NodeID(s)); avg < bestAvg {
+			best, bestAvg = topology.NodeID(s), avg
+		}
+	}
+	return best
+}
+
+// Diameter returns the maximum hop distance between any node pair.
+func (t *Table) Diameter() int {
+	max := 0
+	for s := 0; s < t.n; s++ {
+		for d := 0; d < t.n; d++ {
+			if t.dist[s][d] > max {
+				max = t.dist[s][d]
+			}
+		}
+	}
+	return max
+}
+
+// SortByDistanceDesc orders ids in place by decreasing distance from s,
+// breaking ties by ascending node ID. The replica placement algorithm
+// examines candidates "in the decreasing order of distance" (paper Fig. 3);
+// the deterministic tie-break keeps simulations reproducible.
+func (t *Table) SortByDistanceDesc(s topology.NodeID, ids []topology.NodeID) {
+	d := t.dist[s]
+	// Insertion sort: candidate lists are short (bounded by path lengths).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			if d[a] > d[b] || (d[a] == d[b] && a <= b) {
+				break
+			}
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}
+
+// Validate checks internal consistency; used by tests and cmd/radar-topology.
+func (t *Table) Validate() error {
+	for s := 0; s < t.n; s++ {
+		for d := 0; d < t.n; d++ {
+			if t.dist[s][d] < 0 {
+				return fmt.Errorf("routing: no path %d -> %d", s, d)
+			}
+			p := t.paths[s][d]
+			if len(p) != t.dist[s][d]+1 {
+				return fmt.Errorf("routing: path %d -> %d has %d nodes, want %d", s, d, len(p), t.dist[s][d]+1)
+			}
+			if p[0] != topology.NodeID(s) || p[len(p)-1] != topology.NodeID(d) {
+				return fmt.Errorf("routing: path %d -> %d has wrong endpoints", s, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package sim wires every substrate into the paper's event-driven
+// simulation (§6.1): gateways generate client requests at a constant rate,
+// a redirector (co-located with the minimum-average-distance node, or
+// several with the URL namespace hash-partitioned) assigns each request to
+// a replica, FCFS servers service them, responses travel the preference
+// path consuming backbone bandwidth, and every host periodically runs the
+// replica placement algorithm.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"radar/internal/consistency"
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/server"
+	"radar/internal/simnet"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+// Config fully describes one simulation run. DefaultConfig reproduces
+// Table 1.
+type Config struct {
+	// Seed drives all randomness; equal seeds give bit-identical runs.
+	Seed int64
+	// Topo is the backbone; nil means the reconstructed UUNET backbone.
+	Topo *topology.Topology
+	// Universe is the hosted object set (Table 1: 10,000 x 12 KB).
+	Universe object.Universe
+	// Protocol carries the placement/distribution parameters.
+	Protocol protocol.Params
+	// Server carries capacity and measurement interval.
+	Server server.Config
+	// Net carries hop delay, bandwidth and the contention switch.
+	Net simnet.Config
+	// NodeRequestRPS is each gateway's constant request rate (Table 1: 40).
+	NodeRequestRPS float64
+	// NodeRates, when non-nil, overrides NodeRequestRPS per gateway
+	// (length must equal the node count; zero entries silence a gateway).
+	// Real gateways differ in offered load; the paper's simulation uses a
+	// uniform rate.
+	NodeRates []float64
+	// PoissonArrivals switches gateways from constant spacing (the
+	// paper's model) to Poisson arrivals.
+	PoissonArrivals bool
+	// PlacementInterval is the placement decision frequency (Table 1:
+	// 100 s). Hosts are staggered across the interval unless
+	// PlacementSynchronized is set.
+	PlacementInterval     time.Duration
+	PlacementSynchronized bool
+	// DynamicPlacement enables the paper's protocol; false freezes the
+	// initial placement (the static/no-replication baseline).
+	DynamicPlacement bool
+	// Policy selects the request distribution algorithm.
+	Policy protocol.Policy
+	// NumRedirectors hash-partitions the URL namespace over the K nodes
+	// with the smallest average hop distance (paper simulates 1).
+	NumRedirectors int
+	// RedirectorAtHome places one redirector per node and assigns each
+	// object's redirector to the object's (initial) home node — a
+	// per-object placement policy for the §6.1 future-work question of
+	// redirector placement. Overrides NumRedirectors.
+	RedirectorAtHome bool
+	// ReplicateEverywhere seeds a replica of every object on every node —
+	// the §4 strawman used by the full-replication ablation.
+	ReplicateEverywhere bool
+	// InitialPlacement, when non-nil, overrides the paper's round-robin
+	// initial assignment with an explicit replica set per object (e.g.
+	// the oracle's offline placement). Its length must equal
+	// Universe.Count and every object needs at least one replica.
+	InitialPlacement [][]topology.NodeID
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// MetricsBucket is the reporting series granularity.
+	MetricsBucket time.Duration
+	// TrackedHost is the node whose load estimates are sampled for the
+	// Figure 8b trace.
+	TrackedHost topology.NodeID
+	// ControlMsgBytes sizes a control message (CreateObj handshake legs,
+	// redirector notifications), charged as protocol overhead.
+	ControlMsgBytes int64
+	// ClientTimeout models clients abandoning slow requests: a request
+	// that would wait longer than this in a server queue is dropped
+	// ("servers normally drop messages or clients timeout before queues
+	// build up", §6.1). Zero disables timeouts (unbounded backlog).
+	ClientTimeout time.Duration
+	// Consistency, when non-nil, gates category-3 replication and tracks
+	// primaries (§5).
+	Consistency *consistency.Manager
+	// Updates, when Updates.RatePerSec > 0, injects provider writes
+	// against random objects' primary copies and propagates them to
+	// replicas asynchronously (§5): immediately per write, or batched
+	// every Updates.BatchInterval. Requires Consistency.
+	Updates UpdateConfig
+	// Failures schedules host crash/recovery events (extension beyond
+	// the paper; see Failure).
+	Failures []Failure
+	// ExtraObserver, when non-nil, receives every placement protocol
+	// event in addition to the metrics collector — e.g. a trace.Writer.
+	ExtraObserver protocol.Observer
+	// HostWeights gives each host a relative power factor (§2:
+	// heterogeneity via per-host weights): host i gets weight x the
+	// server capacity and weight-scaled watermarks. Nil means a
+	// homogeneous fleet (the paper's setting); otherwise the length must
+	// equal the node count and every weight must be positive.
+	HostWeights []float64
+	// Workload generates requests. Required.
+	Workload workload.Generator
+	// WorkloadSwitch, when WorkloadSwitch.To is non-nil, swaps the demand
+	// generator at virtual time WorkloadSwitch.At — the demand-pattern
+	// change whose adjustment the protocol is designed to track (§1).
+	WorkloadSwitch struct {
+		At time.Duration
+		To workload.Generator
+	}
+}
+
+// DefaultConfig returns the Table 1 configuration (low-load watermarks)
+// with the given workload and seed. Topo defaults to the UUNET backbone
+// at build time in New.
+func DefaultConfig(gen workload.Generator, seed int64) Config {
+	return Config{
+		Seed:              seed,
+		Universe:          object.Universe{Count: 10000, SizeBytes: 12 << 10},
+		Protocol:          protocol.DefaultParams(),
+		Server:            server.DefaultConfig(),
+		Net:               simnet.DefaultConfig(),
+		NodeRequestRPS:    40,
+		PlacementInterval: 100 * time.Second,
+		DynamicPlacement:  true,
+		Policy:            protocol.PolicyPaper,
+		NumRedirectors:    1,
+		Duration:          40 * time.Minute,
+		MetricsBucket:     time.Minute,
+		TrackedHost:       0,
+		ControlMsgBytes:   200,
+		ClientTimeout:     60 * time.Second,
+		Workload:          gen,
+	}
+}
+
+// UpdateConfig describes provider-write injection (§5).
+type UpdateConfig struct {
+	// RatePerSec is the global provider write rate; writes target
+	// uniformly random objects. The paper cites studies showing most Web
+	// objects are rarely written, so realistic rates are small.
+	RatePerSec float64
+	// SizeBytes is the payload carried per propagated write batch; zero
+	// defaults to the object size (full-object refresh).
+	SizeBytes int64
+	// Mode selects immediate or batched propagation.
+	Mode consistency.PropagationMode
+	// BatchInterval is the flush period in Batched mode.
+	BatchInterval time.Duration
+}
+
+// ErrNoWorkload reports a Config without a workload generator.
+var ErrNoWorkload = errors.New("sim: config needs a workload generator")
+
+// ErrUpdatesNeedConsistency reports update injection without a
+// consistency manager.
+var ErrUpdatesNeedConsistency = errors.New("sim: update injection requires a consistency manager")
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Workload == nil {
+		return ErrNoWorkload
+	}
+	if err := c.Universe.Validate(); err != nil {
+		return err
+	}
+	if err := c.Protocol.Validate(); err != nil {
+		return err
+	}
+	if err := c.Server.Validate(); err != nil {
+		return err
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.NodeRequestRPS <= 0 {
+		return fmt.Errorf("sim: node request rate %v must be positive", c.NodeRequestRPS)
+	}
+	if c.PlacementInterval <= 0 {
+		return fmt.Errorf("sim: placement interval %v must be positive", c.PlacementInterval)
+	}
+	if c.NumRedirectors < 1 {
+		return fmt.Errorf("sim: need at least one redirector, got %d", c.NumRedirectors)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("sim: duration %v must be positive", c.Duration)
+	}
+	if c.MetricsBucket <= 0 {
+		return fmt.Errorf("sim: metrics bucket %v must be positive", c.MetricsBucket)
+	}
+	if c.ControlMsgBytes < 0 {
+		return fmt.Errorf("sim: control message size %v must be non-negative", c.ControlMsgBytes)
+	}
+	if c.ClientTimeout < 0 {
+		return fmt.Errorf("sim: client timeout %v must be non-negative", c.ClientTimeout)
+	}
+	if c.Updates.RatePerSec < 0 {
+		return fmt.Errorf("sim: update rate %v must be non-negative", c.Updates.RatePerSec)
+	}
+	if c.Updates.RatePerSec > 0 {
+		if c.Consistency == nil {
+			return ErrUpdatesNeedConsistency
+		}
+		if c.Updates.Mode == consistency.Batched && c.Updates.BatchInterval <= 0 {
+			return fmt.Errorf("sim: batched propagation needs a positive batch interval")
+		}
+		if c.Updates.Mode != consistency.Immediate && c.Updates.Mode != consistency.Batched {
+			return fmt.Errorf("sim: unknown propagation mode %d", c.Updates.Mode)
+		}
+	}
+	if c.InitialPlacement != nil {
+		if len(c.InitialPlacement) != c.Universe.Count {
+			return fmt.Errorf("sim: initial placement covers %d objects, universe has %d", len(c.InitialPlacement), c.Universe.Count)
+		}
+		for i, reps := range c.InitialPlacement {
+			if len(reps) == 0 {
+				return fmt.Errorf("sim: object %d has empty initial placement", i)
+			}
+		}
+	}
+	if c.Topo != nil {
+		if err := c.validateFailures(); err != nil {
+			return err
+		}
+		if c.NodeRates != nil {
+			if len(c.NodeRates) != c.Topo.NumNodes() {
+				return fmt.Errorf("sim: %d node rates for %d nodes", len(c.NodeRates), c.Topo.NumNodes())
+			}
+			for i, r := range c.NodeRates {
+				if r < 0 {
+					return fmt.Errorf("sim: node %d rate %v must be non-negative", i, r)
+				}
+			}
+		}
+		if c.HostWeights != nil {
+			if len(c.HostWeights) != c.Topo.NumNodes() {
+				return fmt.Errorf("sim: %d host weights for %d nodes", len(c.HostWeights), c.Topo.NumNodes())
+			}
+			for i, w := range c.HostWeights {
+				if w <= 0 {
+					return fmt.Errorf("sim: host %d weight %v must be positive", i, w)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"radar/internal/consistency"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+func TestWorkloadSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	zipf, err := workload.NewZipf(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regional, err := workload.NewRegional(testUniverse, topology.UUNET(), 0.01, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, zipf, 20*time.Minute)
+	cfg.WorkloadSwitch.At = 10 * time.Minute
+	cfg.WorkloadSwitch.To = regional
+	res := mustRun(t, cfg)
+	// After the switch the regional locality should pull bandwidth below
+	// the Zipf-era level: final-quarter mean well under the level around
+	// the switch point.
+	around := 0.0
+	for _, p := range res.Bandwidth {
+		if p.T <= 10*time.Minute {
+			around = p.V
+		}
+	}
+	if res.BandwidthStats.Equilibrium >= around {
+		t.Errorf("bandwidth eq %.3g not below switch-time level %.3g", res.BandwidthStats.Equilibrium, around)
+	}
+}
+
+func TestUpdatePropagationImmediate(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := consistency.New(testUniverse, consistency.DefaultMix(), 53, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, 4*time.Minute)
+	cfg.Consistency = mgr
+	cfg.Updates.RatePerSec = 5
+	cfg.Updates.Mode = consistency.Immediate
+	res := mustRun(t, cfg)
+	// 5/s for 240s = ~1200 writes.
+	if res.UpdatesInjected < 1100 || res.UpdatesInjected > 1300 {
+		t.Errorf("UpdatesInjected = %d, want ~1200", res.UpdatesInjected)
+	}
+	// With mostly single-replica objects few propagations occur, but some
+	// replicas exist by the end of the run.
+	if res.UpdatesInjected == 0 {
+		t.Fatal("no updates injected")
+	}
+}
+
+func TestUpdatePropagationBatchedAmortizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	gen, err := workload.NewHotPages(testUniverse, 0.1, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode consistency.PropagationMode) *Results {
+		mgr, err := consistency.New(testUniverse, consistency.Mix{Static: 1}, 53, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(t, gen, 15*time.Minute)
+		cfg.Consistency = mgr
+		cfg.Updates.RatePerSec = 50 // hot namespace: repeats hit the same objects
+		cfg.Updates.Mode = mode
+		cfg.Updates.BatchInterval = time.Minute
+		cfg.Updates.SizeBytes = 1 << 10
+		return mustRun(t, cfg)
+	}
+	imm := run(consistency.Immediate)
+	bat := run(consistency.Batched)
+	if imm.UpdatesInjected == 0 || bat.UpdatesInjected == 0 {
+		t.Fatal("no updates injected")
+	}
+	// Batching must send no more propagation transfers than immediate
+	// mode for the same write stream (multiple writes share a flush).
+	if bat.UpdatesPropagated > imm.UpdatesPropagated {
+		t.Errorf("batched propagated %d > immediate %d", bat.UpdatesPropagated, imm.UpdatesPropagated)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, time.Minute)
+	cfg.Updates.RatePerSec = 1 // no consistency manager
+	if _, err := New(cfg); err == nil {
+		t.Error("updates without consistency accepted")
+	}
+	mgr, err := consistency.New(testUniverse, consistency.DefaultMix(), 53, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Consistency = mgr
+	cfg.Updates.Mode = consistency.Batched // missing interval
+	if _, err := New(cfg); err == nil {
+		t.Error("batched mode without interval accepted")
+	}
+}
+
+func TestHostFailureAndRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, 12*time.Minute)
+	victim := topology.NodeID(9)
+	cfg.Failures = []Failure{{Node: victim, At: 3 * time.Minute, RecoverAt: 8 * time.Minute}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 || res.Recoveries != 1 {
+		t.Fatalf("failures/recoveries = %d/%d, want 1/1", res.Failures, res.Recoveries)
+	}
+	if s.Down(victim) {
+		t.Error("victim still down after recovery")
+	}
+	// Some requests were lost to the failure (sole-replica objects lived
+	// on the victim under uniform demand).
+	if res.DroppedChoices == 0 {
+		t.Error("no requests observed the failure")
+	}
+	// After recovery the victim's replicas are routable again: invariant
+	// check must pass with every object having at least one replica.
+	if res.InvariantsError != nil {
+		t.Fatalf("invariants: %v", res.InvariantsError)
+	}
+	for _, red := range s.Redirectors() {
+		for _, id := range red.Objects() {
+			if red.ReplicaCount(id) == 0 {
+				t.Fatalf("object %d unavailable after recovery", id)
+			}
+		}
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, time.Minute)
+	cfg.Topo = topology.UUNET()
+	cfg.Failures = []Failure{{Node: 999, At: time.Second}}
+	if _, err := New(cfg); err == nil {
+		t.Error("failure on unknown node accepted")
+	}
+	cfg.Failures = []Failure{{Node: 1, At: 2 * time.Minute, RecoverAt: time.Minute}}
+	if _, err := New(cfg); err == nil {
+		t.Error("recovery before failure accepted")
+	}
+}
+
+func TestPermanentFailureLeavesObjectsUnavailable(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, 5*time.Minute)
+	cfg.DynamicPlacement = false // nothing re-replicates
+	victim := topology.NodeID(3)
+	cfg.Failures = []Failure{{Node: victim, At: time.Minute}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Down(victim) {
+		t.Fatal("victim recovered unexpectedly")
+	}
+	if res.DroppedChoices == 0 {
+		t.Error("requests to dead sole replicas were not dropped")
+	}
+	// Invariants tolerate unavailable objects when failures are
+	// configured.
+	if res.InvariantsError != nil {
+		t.Fatalf("invariants: %v", res.InvariantsError)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"radar/internal/simevent"
+	"radar/internal/topology"
+)
+
+// Failure schedules a hosting-server crash (the co-located router stays
+// up, so routing is unaffected — a process failure, not a link cut). While
+// down, the server accepts no requests and no replicas; its replicas are
+// purged from the redirectors, so objects whose only copy lived there are
+// unavailable until recovery. On recovery the host re-registers the
+// replicas still on its disk.
+//
+// Failure handling is an extension beyond the paper (which targets
+// performance, not availability, §1.1); it exercises the redirector's
+// subset invariant and the placement protocol's reaction to lost
+// capacity.
+type Failure struct {
+	// Node is the failing host.
+	Node topology.NodeID
+	// At is the crash time.
+	At time.Duration
+	// RecoverAt is the recovery time; zero means the host never returns.
+	RecoverAt time.Duration
+}
+
+// validateFailures checks failure specs against the topology.
+func (c *Config) validateFailures() error {
+	for _, f := range c.Failures {
+		if int(f.Node) < 0 || int(f.Node) >= c.Topo.NumNodes() {
+			return fmt.Errorf("sim: failure names unknown node %d", f.Node)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("sim: failure time %v must be non-negative", f.At)
+		}
+		if f.RecoverAt != 0 && f.RecoverAt <= f.At {
+			return fmt.Errorf("sim: recovery %v must follow failure %v", f.RecoverAt, f.At)
+		}
+	}
+	return nil
+}
+
+// scheduleFailures arms the crash/recovery events.
+func (s *Simulation) scheduleFailures() error {
+	for _, f := range s.cfg.Failures {
+		f := f
+		if err := s.engine.Schedule(f.At, func(now time.Duration) { s.failHost(now, f.Node) }); err != nil {
+			return err
+		}
+		if f.RecoverAt > 0 {
+			var recover simevent.Event = func(now time.Duration) { s.recoverHost(now, f.Node) }
+			if err := s.engine.Schedule(f.RecoverAt, recover); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// failHost marks the node down and purges its replicas from every
+// redirector.
+func (s *Simulation) failHost(_ time.Duration, n topology.NodeID) {
+	if s.down[n] {
+		return
+	}
+	s.down[n] = true
+	s.failures++
+	for _, red := range s.redirectors {
+		red.PurgeHost(n)
+	}
+}
+
+// recoverHost brings the node back and re-registers the replicas that
+// survived on its disk.
+func (s *Simulation) recoverHost(_ time.Duration, n topology.NodeID) {
+	if !s.down[n] {
+		return
+	}
+	s.down[n] = false
+	s.recoveries++
+	h := s.hosts[n]
+	for _, id := range h.Objects() {
+		s.redirectorFor(id).NotifyReplicaChange(id, n, h.Affinity(id))
+	}
+}
+
+// Down reports whether node n is currently failed.
+func (s *Simulation) Down(n topology.NodeID) bool { return s.down[n] }

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"radar/internal/object"
+	"radar/internal/topology"
+	"radar/internal/trace"
+	"radar/internal/workload"
+)
+
+func TestRedirectorAtHome(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, 3*time.Minute)
+	cfg.RedirectorAtHome = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Redirectors()); got != 53 {
+		t.Fatalf("redirectors = %d, want one per node", got)
+	}
+	// Each object's redirector sits at its home node.
+	for _, id := range []object.ID{0, 1, 52, 53, 777} {
+		want := testUniverse.HomeNode(id, 53)
+		if got := s.redirectorFor(id).Location; got != want {
+			t.Fatalf("object %d redirector at %v, want home %v", id, got, want)
+		}
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvariantsError != nil {
+		t.Fatal(res.InvariantsError)
+	}
+	if res.TotalServed == 0 {
+		t.Fatal("no requests served")
+	}
+}
+
+func TestNodeRatesZeroSilencesGateway(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, 2*time.Minute)
+	rates := make([]float64, 53)
+	rates[7] = 40 // only gateway 7 speaks
+	cfg.NodeRates = rates
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 req/s x 120 s = 4800 requests, all from gateway 7.
+	if res.TotalServed < 4700 || res.TotalServed > 4900 {
+		t.Fatalf("TotalServed = %d, want ~4800", res.TotalServed)
+	}
+}
+
+func TestNodeRatesValidation(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, time.Minute)
+	cfg.NodeRates = []float64{40}
+	if _, err := New(cfg); err == nil {
+		t.Error("wrong-length node rates accepted")
+	}
+	cfg = testConfig(t, gen, time.Minute)
+	r := make([]float64, 53)
+	r[3] = -1
+	cfg.NodeRates = r
+	if _, err := New(cfg); err == nil {
+		t.Error("negative node rate accepted")
+	}
+}
+
+func TestInitialPlacementValidation(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, time.Minute)
+	cfg.InitialPlacement = [][]topology.NodeID{{0}} // wrong length
+	if _, err := New(cfg); err == nil {
+		t.Error("short initial placement accepted")
+	}
+	cfg = testConfig(t, gen, time.Minute)
+	placement := make([][]topology.NodeID, testUniverse.Count)
+	for i := range placement {
+		placement[i] = []topology.NodeID{topology.NodeID(i % 7)}
+	}
+	placement[5] = nil // empty replica set
+	cfg.InitialPlacement = placement
+	if _, err := New(cfg); err == nil {
+		t.Error("empty per-object placement accepted")
+	}
+}
+
+func TestInitialPlacementApplied(t *testing.T) {
+	small := object.Universe{Count: 60, SizeBytes: 12 << 10}
+	gen, err := workload.NewUniform(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(gen, 7)
+	cfg.Universe = small
+	cfg.Duration = time.Minute
+	cfg.DynamicPlacement = false
+	placement := make([][]topology.NodeID, small.Count)
+	for i := range placement {
+		placement[i] = []topology.NodeID{3, 40} // two replicas everywhere
+	}
+	cfg.InitialPlacement = placement
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgReplicas != 2 {
+		t.Fatalf("AvgReplicas = %v, want 2", res.AvgReplicas)
+	}
+	for i := 0; i < small.Count; i++ {
+		if !s.Hosts()[3].Has(object.ID(i)) || !s.Hosts()[40].Has(object.ID(i)) {
+			t.Fatalf("object %d not placed per InitialPlacement", i)
+		}
+	}
+}
+
+func TestExtraObserverReceivesEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	gen, err := workload.NewHotPages(testUniverse, 0.1, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	w := trace.NewWriter(&buf)
+	cfg := testConfig(t, gen, 8*time.Minute)
+	cfg.ExtraObserver = w
+	res := mustRun(t, cfg)
+	if res.TotalMoves() == 0 {
+		t.Fatal("no placement activity")
+	}
+	events, err := trace.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Summarize(events)
+	moves := int64(s.Migrations + s.Replications)
+	if moves != res.TotalMoves() {
+		t.Fatalf("trace recorded %d moves, metrics %d", moves, res.TotalMoves())
+	}
+	if int64(s.Refusals) != res.Counters.Refusals {
+		t.Fatalf("trace refusals %d, metrics %d", s.Refusals, res.Counters.Refusals)
+	}
+}
+
+func TestLinkContentionRun(t *testing.T) {
+	small := object.Universe{Count: 500, SizeBytes: 12 << 10}
+	gen, err := workload.NewUniform(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultConfig(gen, 7)
+	base.Universe = small
+	base.Duration = 2 * time.Minute
+	free, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeRes, err := free.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := base
+	cont.Net.Contention = true
+	c, err := New(cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contRes, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared links can only slow responses down.
+	if contRes.LatencyStats.Equilibrium < freeRes.LatencyStats.Equilibrium {
+		t.Fatalf("contention latency %v below contention-free %v",
+			contRes.LatencyStats.Equilibrium, freeRes.LatencyStats.Equilibrium)
+	}
+}
+
+func TestSeriesTrimmedToFullBuckets(t *testing.T) {
+	gen, err := workload.NewUniform(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, gen, 150*time.Second) // 2.5 buckets of 1 min
+	res := mustRun(t, cfg)
+	if len(res.Bandwidth) > 2 {
+		t.Fatalf("bandwidth series has %d buckets, want <= 2 full buckets", len(res.Bandwidth))
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"time"
+
+	"radar/internal/metrics"
+	"radar/internal/protocol"
+	"radar/internal/topology"
+)
+
+// Results carries everything a run produces: the series behind each paper
+// figure, the aggregates behind each table, protocol counters and
+// invariant checks.
+type Results struct {
+	// Run identity.
+	WorkloadName string
+	Policy       protocol.Policy
+	Dynamic      bool
+	Duration     time.Duration
+	Seed         int64
+
+	// Figure 6 / Figure 9 series.
+	Bandwidth []metrics.Point // byte-hops per second, per bucket
+	Latency   []metrics.Point // mean seconds, per bucket
+	// LatencyP99 is the per-bucket 99th-percentile latency estimate —
+	// beyond the paper's averages; tail latency is where backlogs and
+	// redirector detours show first.
+	LatencyP99 []metrics.Point
+	// Figure 7 series.
+	OverheadPct []metrics.Point
+	// Figure 8a series.
+	MaxLoad []metrics.Point
+	// Figure 8b series for TrackedHost.
+	HostLoad    []metrics.HostLoadSample
+	TrackedHost topology.NodeID
+	// Replica census over time; AvgReplicas is the final census
+	// (Table 2).
+	Replicas    []metrics.Point
+	AvgReplicas float64
+
+	// Aggregates.
+	BandwidthStats  metrics.SeriesStats
+	LatencyStats    metrics.SeriesStats
+	AdjustmentTime  time.Duration // Table 2
+	Adjusted        bool
+	OverheadPercent float64 // cumulative, Figure 7 headline
+	MaxLoadPeak     float64
+	// MaxLoadSettled is the maximum load over the final quarter of the
+	// run — the Figure 8a claim is that it stays below the high
+	// watermark once hot spots are dissolved.
+	MaxLoadSettled float64
+	HighWatermark  float64
+
+	// Figure 8b verification: samples where the actual load escaped the
+	// [lower, upper] estimate sandwich.
+	SandwichViolations int
+	SandwichSlackRPS   float64
+
+	// Volume and protocol activity.
+	TotalServed    int64
+	MaxQueueLen    int
+	DroppedChoices int64
+	// TimedOutRequests counts requests abandoned due to ClientTimeout.
+	TimedOutRequests int64
+	// UpdatesInjected / UpdatesPropagated count §5 provider writes and
+	// the primary-to-replica transfers that carried them.
+	UpdatesInjected   int64
+	UpdatesPropagated int64
+	// Failures / Recoveries count executed host crash and recovery events.
+	Failures   int64
+	Recoveries int64
+	Counters   metrics.Counters
+	HostStats  []protocol.HostStats
+
+	// InvariantsError is non-nil if the post-run invariant check failed.
+	InvariantsError error
+}
+
+// TotalMoves returns the total number of migrations and replications.
+func (r *Results) TotalMoves() int64 {
+	c := r.Counters
+	return c.GeoMigrations + c.GeoReplications + c.LoadMigrations + c.LoadReplications
+}

@@ -1,0 +1,603 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"radar/internal/metrics"
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/routing"
+	"radar/internal/server"
+	"radar/internal/simevent"
+	"radar/internal/simnet"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+// Simulation is one configured run. Build with New, execute with Run.
+type Simulation struct {
+	cfg    Config
+	topo   *topology.Topology
+	routes *routing.Table
+	engine *simevent.Engine
+	net    *simnet.Network
+	col    *metrics.Collector
+
+	servers []*server.Server
+	hosts   []*protocol.Host
+	gen     workload.Generator
+
+	redirectors []*protocol.Redirector
+	rngs        []*rand.Rand // one request stream per gateway
+
+	droppedChoices    int64
+	timedOut          int64
+	updatesInjected   int64
+	updatesPropagated int64
+
+	down       []bool
+	failures   int64
+	recoveries int64
+}
+
+// New builds a simulation from cfg. A nil cfg.Topo selects the
+// reconstructed UUNET backbone.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Topo == nil {
+		cfg.Topo = topology.UUNET()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:    cfg,
+		topo:   cfg.Topo,
+		engine: simevent.New(),
+		gen:    cfg.Workload,
+	}
+	s.routes = routing.New(s.topo)
+	col, err := metrics.New(cfg.MetricsBucket)
+	if err != nil {
+		return nil, err
+	}
+	s.col = col
+	s.net, err = simnet.New(cfg.Net, s.topo.NumNodes(), col)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.buildRedirectors(); err != nil {
+		return nil, err
+	}
+	if err := s.buildHosts(); err != nil {
+		return nil, err
+	}
+	s.seedPlacement()
+	n := s.topo.NumNodes()
+	s.down = make([]bool, n)
+	s.rngs = make([]*rand.Rand, n)
+	for i := 0; i < n; i++ {
+		s.rngs[i] = workload.Stream(cfg.Seed, uint64(i))
+	}
+	return s, nil
+}
+
+// buildRedirectors places cfg.NumRedirectors redirectors on the nodes with
+// the smallest average hop distance (paper §6.1) and hash-partitions the
+// object namespace among them.
+func (s *Simulation) buildRedirectors() error {
+	n := s.topo.NumNodes()
+	if s.cfg.RedirectorAtHome {
+		// One redirector per node; objects map to their home node's.
+		s.redirectors = make([]*protocol.Redirector, n)
+		for i := 0; i < n; i++ {
+			r, err := protocol.NewRedirector(topology.NodeID(i), s.routes, s.cfg.Policy, s.cfg.Protocol.DistConstant)
+			if err != nil {
+				return err
+			}
+			s.redirectors[i] = r
+		}
+		return nil
+	}
+	k := s.cfg.NumRedirectors
+	if k > n {
+		k = n
+	}
+	type cand struct {
+		id  topology.NodeID
+		avg float64
+	}
+	cands := make([]cand, n)
+	for i := 0; i < n; i++ {
+		cands[i] = cand{topology.NodeID(i), s.routes.AvgDistance(topology.NodeID(i))}
+	}
+	// Selection by (avg, id): stable and deterministic.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if cands[j].avg < cands[best].avg ||
+				(cands[j].avg == cands[best].avg && cands[j].id < cands[best].id) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	s.redirectors = make([]*protocol.Redirector, k)
+	for i := 0; i < k; i++ {
+		r, err := protocol.NewRedirector(cands[i].id, s.routes, s.cfg.Policy, s.cfg.Protocol.DistConstant)
+		if err != nil {
+			return err
+		}
+		s.redirectors[i] = r
+	}
+	return nil
+}
+
+// redirectorFor maps an object to its responsible redirector: its home
+// node's under RedirectorAtHome, otherwise by hash partition.
+func (s *Simulation) redirectorFor(id object.ID) *protocol.Redirector {
+	if s.cfg.RedirectorAtHome {
+		return s.redirectors[s.cfg.Universe.HomeNode(id, len(s.redirectors))]
+	}
+	return s.redirectors[int(id)%len(s.redirectors)]
+}
+
+func (s *Simulation) buildHosts() error {
+	n := s.topo.NumNodes()
+	s.servers = make([]*server.Server, n)
+	s.hosts = make([]*protocol.Host, n)
+	obs := &chargingObserver{s: s}
+	var canReplicate func(object.ID, int) bool
+	if s.cfg.Consistency != nil {
+		canReplicate = s.cfg.Consistency.CanReplicate
+	}
+	for i := 0; i < n; i++ {
+		weight := 1.0
+		if s.cfg.HostWeights != nil {
+			weight = s.cfg.HostWeights[i]
+		}
+		srvCfg := s.cfg.Server
+		srvCfg.CapacityRPS *= weight
+		srv, err := server.New(topology.NodeID(i), srvCfg)
+		if err != nil {
+			return err
+		}
+		s.servers[i] = srv
+		env := protocol.Env{
+			Routes: s.routes,
+			RedirectorFor: func(id object.ID) protocol.RedirectorControl {
+				return s.redirectorFor(id)
+			},
+			Peer: func(p topology.NodeID) *protocol.Host {
+				if s.down[p] {
+					return nil // failed hosts accept nothing
+				}
+				return s.hosts[p]
+			},
+			FindRecipient: s.findRecipient,
+			CopyObject:    s.copyObject,
+			CanReplicate:  canReplicate,
+			Observer:      obs,
+		}
+		h, err := protocol.NewHost(topology.NodeID(i), s.cfg.Protocol.Weighted(weight), env, srv)
+		if err != nil {
+			return err
+		}
+		s.hosts[i] = h
+	}
+	return nil
+}
+
+// seedPlacement installs the paper's round-robin initial assignment
+// (object i on node i mod N), or a full replica set everywhere for the
+// full-replication ablation.
+func (s *Simulation) seedPlacement() {
+	n := s.topo.NumNodes()
+	for i := 0; i < s.cfg.Universe.Count; i++ {
+		id := object.ID(i)
+		switch {
+		case s.cfg.ReplicateEverywhere:
+			for h := 0; h < n; h++ {
+				s.hosts[h].SeedObject(id)
+				s.redirectorFor(id).NotifyReplicaChange(id, topology.NodeID(h), 1)
+			}
+		case s.cfg.InitialPlacement != nil:
+			for _, h := range s.cfg.InitialPlacement[i] {
+				s.hosts[h].SeedObject(id)
+				s.redirectorFor(id).NotifyReplicaChange(id, h, 1)
+			}
+		default:
+			home := s.cfg.Universe.HomeNode(id, n)
+			s.hosts[home].SeedObject(id)
+			s.redirectorFor(id).NotifyReplicaChange(id, home, 1)
+		}
+	}
+}
+
+// findRecipient implements the offload-recipient lookup backed by the
+// periodic load-report exchange of §4.2.2: the host with the least
+// accept-side load strictly below the low watermark.
+func (s *Simulation) findRecipient(exclude topology.NodeID) (topology.NodeID, bool) {
+	best, bestLoad, found := topology.NodeID(0), 0.0, false
+	for i := range s.hosts {
+		id := topology.NodeID(i)
+		if id == exclude || s.down[i] {
+			continue
+		}
+		l := s.hosts[i].Estimator().LoadForAccept(s.servers[i].Load())
+		// Compare against each host's own (weight-scaled) watermark, and
+		// prefer the most relative headroom so strong hosts absorb more.
+		lw := s.hosts[i].Params().LowWatermark
+		rel := l / lw
+		if l < lw && (!found || rel < bestLoad) {
+			best, bestLoad, found = id, rel, true
+		}
+	}
+	return best, found
+}
+
+// copyObject charges an inter-host object transfer as protocol overhead.
+func (s *Simulation) copyObject(now time.Duration, from, to topology.NodeID, _ object.ID) {
+	s.net.Transfer(now, s.routes.Path(from, to), int64(s.cfg.Universe.SizeBytes), simnet.Overhead)
+}
+
+// chargeHandshake charges a request/response control message pair.
+func (s *Simulation) chargeHandshake(now time.Duration, from, to topology.NodeID) {
+	if s.cfg.ControlMsgBytes == 0 {
+		return
+	}
+	s.net.ControlMessage(now, s.routes.Path(from, to), s.cfg.ControlMsgBytes)
+	s.net.ControlMessage(now, s.routes.Path(to, from), s.cfg.ControlMsgBytes)
+}
+
+// chargeNotify charges a one-way notification from a host to the object's
+// redirector.
+func (s *Simulation) chargeNotify(now time.Duration, from topology.NodeID, id object.ID) {
+	if s.cfg.ControlMsgBytes == 0 {
+		return
+	}
+	red := s.redirectorFor(id)
+	s.net.ControlMessage(now, s.routes.Path(from, red.Location), s.cfg.ControlMsgBytes)
+}
+
+// chargingObserver forwards protocol events to the metrics collector and
+// charges the associated control traffic; it also keeps the consistency
+// manager's primary tracking current.
+type chargingObserver struct {
+	s *Simulation
+}
+
+func (o *chargingObserver) OnMigrate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
+	o.s.chargeHandshake(now, from, to)
+	o.s.chargeNotify(now, to, id)
+	if o.s.cfg.Consistency != nil {
+		o.s.cfg.Consistency.OnMigrate(id, from, to)
+	}
+	o.s.col.OnMigrate(now, id, from, to, kind)
+	if o.s.cfg.ExtraObserver != nil {
+		o.s.cfg.ExtraObserver.OnMigrate(now, id, from, to, kind)
+	}
+}
+
+func (o *chargingObserver) OnReplicate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
+	o.s.chargeHandshake(now, from, to)
+	o.s.chargeNotify(now, to, id)
+	o.s.col.OnReplicate(now, id, from, to, kind)
+	if o.s.cfg.ExtraObserver != nil {
+		o.s.cfg.ExtraObserver.OnReplicate(now, id, from, to, kind)
+	}
+}
+
+func (o *chargingObserver) OnDrop(now time.Duration, id object.ID, host topology.NodeID) {
+	o.s.chargeNotify(now, host, id)
+	if o.s.cfg.Consistency != nil {
+		reps := o.s.redirectorFor(id).Replicas(id)
+		if len(reps) > 0 {
+			o.s.cfg.Consistency.OnDrop(id, host, reps[0].Host)
+		}
+	}
+	o.s.col.OnDrop(now, id, host)
+	if o.s.cfg.ExtraObserver != nil {
+		o.s.cfg.ExtraObserver.OnDrop(now, id, host)
+	}
+}
+
+func (o *chargingObserver) OnRefuse(now time.Duration, id object.ID, from, to topology.NodeID, method protocol.Method) {
+	o.s.chargeHandshake(now, from, to)
+	o.s.col.OnRefuse(now, id, from, to, method)
+	if o.s.cfg.ExtraObserver != nil {
+		o.s.cfg.ExtraObserver.OnRefuse(now, id, from, to, method)
+	}
+}
+
+// Run executes the simulation for cfg.Duration of virtual time and
+// returns its results. Run must be called at most once.
+func (s *Simulation) Run() (*Results, error) {
+	if err := s.scheduleGenerators(); err != nil {
+		return nil, err
+	}
+	if err := s.scheduleMeasurement(); err != nil {
+		return nil, err
+	}
+	if s.cfg.DynamicPlacement {
+		if err := s.schedulePlacement(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.scheduleCensus(); err != nil {
+		return nil, err
+	}
+	if err := s.scheduleUpdates(); err != nil {
+		return nil, err
+	}
+	if err := s.scheduleFailures(); err != nil {
+		return nil, err
+	}
+	if sw := s.cfg.WorkloadSwitch; sw.To != nil {
+		if err := s.engine.Schedule(sw.At, func(time.Duration) { s.gen = sw.To }); err != nil {
+			return nil, fmt.Errorf("sim: scheduling workload switch: %w", err)
+		}
+	}
+	s.engine.Run(s.cfg.Duration)
+	return s.results(), nil
+}
+
+// scheduleGenerators starts one request stream per gateway. Every backbone
+// node is a gateway (paper §6.1). Streams are phase-offset so the fleet
+// does not fire in lockstep.
+func (s *Simulation) scheduleGenerators() error {
+	n := s.topo.NumNodes()
+	for i := 0; i < n; i++ {
+		g := topology.NodeID(i)
+		rate := s.cfg.NodeRequestRPS
+		if s.cfg.NodeRates != nil {
+			rate = s.cfg.NodeRates[i]
+		}
+		if rate == 0 {
+			continue
+		}
+		spacing := time.Duration(float64(time.Second) / rate)
+		phase := spacing * time.Duration(i) / time.Duration(n)
+		var emit simevent.Event
+		emit = func(now time.Duration) {
+			s.dispatch(now, g, s.gen.Next(g, s.rngs[g]))
+			next := spacing
+			if s.cfg.PoissonArrivals {
+				next = time.Duration(s.rngs[g].ExpFloat64() * float64(spacing))
+				if next <= 0 {
+					next = time.Nanosecond
+				}
+			}
+			if now+next <= s.cfg.Duration {
+				// Rescheduling forward in time cannot fail.
+				_ = s.engine.Schedule(now+next, emit)
+			}
+		}
+		if err := s.engine.Schedule(phase, emit); err != nil {
+			return fmt.Errorf("sim: scheduling generator %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// dispatch runs one request through the paper's pipeline: gateway ->
+// redirector (UDP, latency only) -> chosen host (UDP) -> FCFS service ->
+// response along the preference path back to the gateway.
+func (s *Simulation) dispatch(t0 time.Duration, g topology.NodeID, id object.ID) {
+	red := s.redirectorFor(id)
+	t1 := s.net.ControlLatency(t0, s.routes.Distance(g, red.Location))
+	h, err := red.ChooseReplica(g, id)
+	if err != nil {
+		s.droppedChoices++
+		return
+	}
+	t2 := s.net.ControlLatency(t1, s.routes.Distance(red.Location, h))
+	_ = s.engine.Schedule(t2, func(now time.Duration) {
+		if s.down[h] {
+			s.droppedChoices++ // chosen replica crashed in flight
+			return
+		}
+		if s.cfg.ClientTimeout > 0 && s.servers[h].QueueDelay(now) > s.cfg.ClientTimeout {
+			s.timedOut++
+			return
+		}
+		done := s.servers[h].Enqueue(now)
+		_ = s.engine.Schedule(done, func(now time.Duration) {
+			s.servers[h].OnServed(now, id)
+			s.hosts[h].OnRequest(id, g)
+			deliver := s.net.Transfer(now, s.routes.PreferencePath(h, g), int64(s.cfg.Universe.SizeBytes), simnet.Payload)
+			s.col.RecordLatency(deliver, deliver-t0)
+		})
+	})
+}
+
+// scheduleMeasurement drives the periodic load measurement (paper §2.1):
+// close every server's interval, retire estimates, and sample the
+// Figure 8a/8b series.
+func (s *Simulation) scheduleMeasurement() error {
+	interval := s.cfg.Server.MeasurementInterval
+	var tick simevent.Event
+	tick = func(now time.Duration) {
+		maxLoad := 0.0
+		for i := range s.servers {
+			start := s.servers[i].CloseInterval(now)
+			s.hosts[i].OnMeasurementIntervalClose(start)
+			if l := s.servers[i].Load(); l > maxLoad {
+				maxLoad = l
+			}
+		}
+		s.col.RecordMaxLoad(now, maxLoad)
+		tracked := s.cfg.TrackedHost
+		actual := s.servers[tracked].Load()
+		lower, upper := s.hosts[tracked].Estimator().Bounds(actual)
+		s.col.RecordHostLoad(now, actual, lower, upper)
+		if now+interval <= s.cfg.Duration {
+			_ = s.engine.Schedule(now+interval, tick)
+		}
+	}
+	return s.engine.Schedule(interval, tick)
+}
+
+// schedulePlacement drives each host's periodic DecidePlacement. Hosts are
+// staggered across the placement interval unless PlacementSynchronized.
+func (s *Simulation) schedulePlacement() error {
+	n := s.topo.NumNodes()
+	interval := s.cfg.PlacementInterval
+	for i := 0; i < n; i++ {
+		h := s.hosts[i]
+		offset := time.Duration(0)
+		if !s.cfg.PlacementSynchronized {
+			offset = interval * time.Duration(i) / time.Duration(n)
+		}
+		i := i
+		var tick simevent.Event
+		tick = func(now time.Duration) {
+			if !s.down[i] {
+				h.DecidePlacement(now)
+			}
+			if now+interval <= s.cfg.Duration {
+				_ = s.engine.Schedule(now+interval, tick)
+			}
+		}
+		if err := s.engine.Schedule(interval+offset, tick); err != nil {
+			return fmt.Errorf("sim: scheduling placement for host %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// scheduleCensus samples the average replica count per object once per
+// placement interval (Table 2's replica metric).
+func (s *Simulation) scheduleCensus() error {
+	interval := s.cfg.PlacementInterval
+	var tick simevent.Event
+	tick = func(now time.Duration) {
+		s.col.RecordReplicaCensus(now, s.averageReplicas())
+		if now+interval <= s.cfg.Duration {
+			_ = s.engine.Schedule(now+interval, tick)
+		}
+	}
+	return s.engine.Schedule(interval, tick)
+}
+
+// averageReplicas returns the mean number of physical replicas per object.
+func (s *Simulation) averageReplicas() float64 {
+	total := 0
+	for i := 0; i < s.cfg.Universe.Count; i++ {
+		total += s.redirectorFor(object.ID(i)).ReplicaCount(object.ID(i))
+	}
+	return float64(total) / float64(s.cfg.Universe.Count)
+}
+
+// Hosts exposes the protocol hosts (read-only use by tests and tools).
+func (s *Simulation) Hosts() []*protocol.Host { return s.hosts }
+
+// Servers exposes the server models (read-only use by tests and tools).
+func (s *Simulation) Servers() []*server.Server { return s.servers }
+
+// Redirectors exposes the redirectors (read-only use by tests and tools).
+func (s *Simulation) Redirectors() []*protocol.Redirector { return s.redirectors }
+
+// Network exposes the network model (read-only use by tests and tools).
+func (s *Simulation) Network() *simnet.Network { return s.net }
+
+// CheckInvariants verifies cross-component invariants: the redirector's
+// replica sets are subsets of what hosts actually hold with matching
+// affinities, and every object retains at least one replica.
+func (s *Simulation) CheckInvariants() error {
+	for i := 0; i < s.cfg.Universe.Count; i++ {
+		id := object.ID(i)
+		reps := s.redirectorFor(id).Replicas(id)
+		if len(reps) == 0 {
+			// With failures configured an object whose only replica lived
+			// on a downed host is legitimately unavailable.
+			if len(s.cfg.Failures) > 0 {
+				continue
+			}
+			return fmt.Errorf("sim: object %d has no replicas recorded", id)
+		}
+		for _, rep := range reps {
+			if !s.hosts[rep.Host].Has(id) {
+				return fmt.Errorf("sim: redirector lists replica of %d on host %d which lacks it", id, rep.Host)
+			}
+			if got := s.hosts[rep.Host].Affinity(id); got != rep.Aff {
+				return fmt.Errorf("sim: object %d host %d affinity mismatch: redirector %d host %d", id, rep.Host, rep.Aff, got)
+			}
+		}
+	}
+	return nil
+}
+
+// trimSeries caps a series at the number of full buckets the run covers,
+// dropping the trailing partial bucket (deliveries completing just past
+// the horizon land there and would skew per-second rates).
+func (s *Simulation) trimSeries(points []metrics.Point) []metrics.Point {
+	full := int(s.cfg.Duration / s.cfg.MetricsBucket)
+	if full < 1 {
+		full = 1
+	}
+	if len(points) > full {
+		return points[:full]
+	}
+	return points
+}
+
+// results assembles the run's outputs.
+func (s *Simulation) results() *Results {
+	r := &Results{
+		WorkloadName:      s.cfg.Workload.Name(),
+		Policy:            s.cfg.Policy,
+		Dynamic:           s.cfg.DynamicPlacement,
+		Duration:          s.cfg.Duration,
+		Seed:              s.cfg.Seed,
+		Bandwidth:         s.trimSeries(s.col.BandwidthSeries()),
+		Latency:           s.trimSeries(s.col.LatencySeries()),
+		LatencyP99:        s.trimSeries(s.col.LatencyQuantileSeries(0.99)),
+		OverheadPct:       s.trimSeries(s.col.OverheadPercentSeries()),
+		MaxLoad:           s.col.MaxLoadSeries(),
+		HostLoad:          s.col.HostLoadSeries(),
+		Replicas:          s.col.ReplicaSeries(),
+		Counters:          s.col.Counters(),
+		OverheadPercent:   s.col.OverheadPercent(),
+		AvgReplicas:       s.averageReplicas(),
+		DroppedChoices:    s.droppedChoices,
+		TimedOutRequests:  s.timedOut,
+		UpdatesInjected:   s.updatesInjected,
+		UpdatesPropagated: s.updatesPropagated,
+		Failures:          s.failures,
+		Recoveries:        s.recoveries,
+		HostStats:         make([]protocol.HostStats, len(s.hosts)),
+		InvariantsError:   s.CheckInvariants(),
+		TrackedHost:       s.cfg.TrackedHost,
+		HighWatermark:     s.cfg.Protocol.HighWatermark,
+		SandwichSlackRPS:  1e-9,
+	}
+	for i, h := range s.hosts {
+		r.HostStats[i] = h.Stats
+	}
+	r.BandwidthStats = metrics.Summarize(r.Bandwidth, 2)
+	r.LatencyStats = metrics.Summarize(r.Latency, 2)
+	r.AdjustmentTime, r.Adjusted = metrics.AdjustmentTime(r.Bandwidth, 1.10)
+	r.MaxLoadPeak = metrics.MaxValue(r.MaxLoad)
+	if len(r.MaxLoad) > 0 {
+		tail := r.MaxLoad[len(r.MaxLoad)*3/4:]
+		r.MaxLoadSettled = metrics.MaxValue(tail)
+	}
+	r.SandwichViolations = metrics.SandwichViolations(r.HostLoad, r.SandwichSlackRPS)
+	maxQ := 0
+	var totalServed int64
+	for _, srv := range s.servers {
+		if srv.MaxQueueLen() > maxQ {
+			maxQ = srv.MaxQueueLen()
+		}
+		totalServed += srv.TotalServed()
+	}
+	r.MaxQueueLen = maxQ
+	r.TotalServed = totalServed
+	if math.IsNaN(r.BandwidthStats.ReductionPercent) {
+		r.BandwidthStats.ReductionPercent = 0
+	}
+	return r
+}

@@ -1,0 +1,139 @@
+// Package simevent provides a deterministic discrete-event simulation
+// engine: a virtual clock and a priority queue of timestamped events.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), which makes every
+// simulation run reproducible from its inputs alone.
+package simevent
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Event is a unit of work scheduled to run at a virtual time.
+type Event func(now time.Duration)
+
+// item is a scheduled event inside the heap.
+type item struct {
+	at  time.Duration
+	seq uint64
+	fn  Event
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	it, ok := x.(*item)
+	if !ok {
+		// heap.Push is only called through Engine.Schedule, which always
+		// pushes *item; reaching this branch is a programming error.
+		panic(fmt.Sprintf("simevent: unexpected heap element of type %T", x))
+	}
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// ErrSchedulePast reports an attempt to schedule an event before the
+// current virtual time.
+var ErrSchedulePast = errors.New("simevent: schedule time is in the past")
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use. Engine is not safe for concurrent use; a simulation is a
+// sequential program over virtual time.
+type Engine struct {
+	heap    eventHeap
+	now     time.Duration
+	seq     uint64
+	stopped bool
+}
+
+// New returns an Engine with its clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.heap) }
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling at
+// the current time is allowed (the event runs after already-pending events
+// for the same instant). Scheduling in the past returns ErrSchedulePast.
+func (e *Engine) Schedule(at time.Duration, fn Event) error {
+	if at < e.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
+	}
+	e.seq++
+	heap.Push(&e.heap, &item{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// ScheduleAfter enqueues fn to run delay after the current virtual time.
+// A negative delay returns ErrSchedulePast.
+func (e *Engine) ScheduleAfter(delay time.Duration, fn Event) error {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Stop makes the current or next Run call return once the currently
+// executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and advances the clock
+// to its timestamp. It returns false if no events are pending.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	it, ok := heap.Pop(&e.heap).(*item)
+	if !ok {
+		return false
+	}
+	e.now = it.at
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events in timestamp order until the queue is empty, Stop is
+// called, or the next event lies strictly beyond horizon. The clock never
+// advances past the last executed event; events beyond the horizon remain
+// queued so Run can be resumed with a later horizon.
+func (e *Engine) Run(horizon time.Duration) {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 {
+		if e.heap[0].at > horizon {
+			return
+		}
+		e.Step()
+	}
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 {
+		e.Step()
+	}
+}

@@ -1,0 +1,215 @@
+// Package simnet models the backbone network: per-hop propagation delay,
+// per-link transmission time, optional FIFO link contention, and the
+// byte×hop accounting behind the paper's bandwidth metric ("the bandwidth
+// is determined by summing the number of bytes transmitted on each hop",
+// §6.2).
+//
+// Transfers are walked hop by hop analytically at send time: each directed
+// link keeps a busy-until timestamp, a transfer on a link starts at
+// max(arrival, busyUntil) when contention is enabled, and store-and-forward
+// transmission plus propagation delay accumulate into the delivery time.
+// This charges exact per-link byte counts without per-hop simulator events.
+//
+// The paper's own simulation treats link bandwidth as a fixed per-hop
+// transmission cost rather than a shared capacity (its offered response
+// traffic would exceed 350 KB/s on hub links, yet reported latencies stay
+// sub-second at equilibrium), so contention defaults to off; it can be
+// enabled for ablations.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"radar/internal/topology"
+)
+
+// Class labels a transfer for the traffic accounting: payload is object
+// data returned to clients; overhead is protocol traffic (object copies
+// between hosts, control messages), reported in Figure 7 as a percentage
+// of the total.
+type Class int
+
+// Traffic classes.
+const (
+	Payload Class = iota + 1
+	Overhead
+)
+
+// String returns the class's report name.
+func (c Class) String() string {
+	switch c {
+	case Payload:
+		return "payload"
+	case Overhead:
+		return "overhead"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Recorder receives traffic accounting callbacks; the metrics collector
+// implements it.
+type Recorder interface {
+	// RecordTransfer reports a transfer of bytes over hops links of the
+	// given class, initiated at virtual time now.
+	RecordTransfer(now time.Duration, class Class, bytes int64, hops int)
+}
+
+// Config parameterizes the network model.
+type Config struct {
+	// HopDelay is the propagation delay per link (Table 1: 10 ms).
+	HopDelay time.Duration
+	// LinkBandwidthBps is the link bandwidth in bytes/sec
+	// (Table 1: 350 KB/s).
+	LinkBandwidthBps float64
+	// Contention, when true, serializes transfers on each directed link
+	// (FIFO store-and-forward). Off by default to match the paper's
+	// fixed-cost bandwidth model.
+	Contention bool
+}
+
+// DefaultConfig returns the Table 1 network parameters.
+func DefaultConfig() Config {
+	return Config{
+		HopDelay:         10 * time.Millisecond,
+		LinkBandwidthBps: 350 * 1024,
+		Contention:       false,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.HopDelay < 0 {
+		return fmt.Errorf("simnet: negative hop delay %v", c.HopDelay)
+	}
+	if c.LinkBandwidthBps <= 0 {
+		return fmt.Errorf("simnet: non-positive bandwidth %v", c.LinkBandwidthBps)
+	}
+	return nil
+}
+
+// Network charges transfers along precomputed paths and accounts traffic.
+type Network struct {
+	cfg      Config
+	n        int
+	recorder Recorder
+	// busyUntil[a*n+b] is the directed link a->b's reservation horizon;
+	// allocated lazily only when contention is enabled.
+	busyUntil []time.Duration
+	// linkBytes[a*n+b] accumulates bytes sent over each directed link,
+	// for hot-link reports.
+	linkBytes []int64
+	// totals by class.
+	payloadByteHops  int64
+	overheadByteHops int64
+}
+
+// New builds a network over numNodes nodes. recorder may be nil.
+func New(cfg Config, numNodes int, recorder Recorder) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("simnet: numNodes %d must be positive", numNodes)
+	}
+	n := &Network{cfg: cfg, n: numNodes, recorder: recorder, linkBytes: make([]int64, numNodes*numNodes)}
+	if cfg.Contention {
+		n.busyUntil = make([]time.Duration, numNodes*numNodes)
+	}
+	return n, nil
+}
+
+// TxTime returns the per-link transmission time of a transfer of bytes.
+func (nw *Network) TxTime(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / nw.cfg.LinkBandwidthBps * float64(time.Second))
+}
+
+// Transfer sends bytes along path (a node sequence, first element the
+// source) starting at now, and returns the delivery time at the last node.
+// A single-node path is a local delivery: zero latency, zero bytes on the
+// wire. Traffic is recorded against the given class.
+func (nw *Network) Transfer(now time.Duration, path []topology.NodeID, bytes int64, class Class) time.Duration {
+	hops := len(path) - 1
+	if hops <= 0 {
+		return now
+	}
+	t := now
+	tx := nw.TxTime(bytes)
+	for i := 0; i < hops; i++ {
+		a, b := int(path[i]), int(path[i+1])
+		li := a*nw.n + b
+		start := t
+		if nw.busyUntil != nil {
+			if nw.busyUntil[li] > start {
+				start = nw.busyUntil[li]
+			}
+			nw.busyUntil[li] = start + tx
+		}
+		t = start + tx + nw.cfg.HopDelay
+		nw.linkBytes[li] += bytes
+	}
+	nw.account(now, class, bytes, hops)
+	return t
+}
+
+// ControlLatency returns the delivery time of a negligible-size control
+// message (UDP request forwarding) along hops links: propagation only, no
+// bytes accounted. The paper treats request sizes as negligible compared
+// to page sizes.
+func (nw *Network) ControlLatency(now time.Duration, hops int) time.Duration {
+	if hops <= 0 {
+		return now
+	}
+	return now + time.Duration(hops)*nw.cfg.HopDelay
+}
+
+// ControlMessage charges a small control message of the given size along
+// path as overhead traffic and returns its delivery time. Used for
+// CreateObj handshakes and redirector notifications.
+func (nw *Network) ControlMessage(now time.Duration, path []topology.NodeID, bytes int64) time.Duration {
+	hops := len(path) - 1
+	if hops <= 0 {
+		return now
+	}
+	for i := 0; i < hops; i++ {
+		nw.linkBytes[int(path[i])*nw.n+int(path[i+1])] += bytes
+	}
+	nw.account(now, Overhead, bytes, hops)
+	return now + time.Duration(hops)*nw.cfg.HopDelay
+}
+
+func (nw *Network) account(now time.Duration, class Class, bytes int64, hops int) {
+	bh := bytes * int64(hops)
+	switch class {
+	case Payload:
+		nw.payloadByteHops += bh
+	case Overhead:
+		nw.overheadByteHops += bh
+	}
+	if nw.recorder != nil {
+		nw.recorder.RecordTransfer(now, class, bytes, hops)
+	}
+}
+
+// PayloadByteHops returns cumulative payload traffic in byte×hops.
+func (nw *Network) PayloadByteHops() int64 { return nw.payloadByteHops }
+
+// OverheadByteHops returns cumulative overhead traffic in byte×hops.
+func (nw *Network) OverheadByteHops() int64 { return nw.overheadByteHops }
+
+// LinkBytes returns the cumulative bytes sent over the directed link a->b.
+func (nw *Network) LinkBytes(a, b topology.NodeID) int64 {
+	return nw.linkBytes[int(a)*nw.n+int(b)]
+}
+
+// HottestLink returns the directed link with the most cumulative bytes.
+func (nw *Network) HottestLink() (a, b topology.NodeID, bytes int64) {
+	best := 0
+	for i, v := range nw.linkBytes {
+		if v > nw.linkBytes[best] {
+			best = i
+		}
+	}
+	return topology.NodeID(best / nw.n), topology.NodeID(best % nw.n), nw.linkBytes[best]
+}

@@ -1,0 +1,110 @@
+// Package stats provides the summary statistics used to aggregate
+// multi-seed experiment runs: sample mean, standard deviation,
+// percentiles and normal-approximation confidence intervals. Single-seed
+// simulation results carry run-to-run noise; reporting mean ± interval
+// across seeds is what makes paper-vs-measured comparisons defensible.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// StdDev returns the sample (n-1) standard deviation; 0 for fewer than
+// two points.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics; it panics on no data or an out
+// of range p being impossible — instead it clamps p into [0,100] and
+// returns 0 for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary is a sample's headline statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), P50: Percentile(xs, 50)}
+	for i, x := range xs {
+		if i == 0 || x < s.Min {
+			s.Min = x
+		}
+		if i == 0 || x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+// MeanErr returns the mean and its ~95% normal-approximation half-width
+// (1.96 standard errors). With fewer than two samples the half-width is
+// zero.
+func MeanErr(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	halfWidth = 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, halfWidth
+}
+
+// FormatMeanErr renders "mean ± half" with the given precision.
+func FormatMeanErr(xs []float64, prec int) string {
+	m, h := MeanErr(xs)
+	return fmt.Sprintf("%.*f ± %.*f", prec, m, prec, h)
+}

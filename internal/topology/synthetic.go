@@ -1,0 +1,85 @@
+package topology
+
+import "strconv"
+
+// The synthetic constructors below build small regular graphs used by unit
+// tests, examples and ablation experiments. Nodes are named "n0", "n1", ...
+// and assigned regions round-robin so region-dependent code paths stay
+// exercised even on synthetic graphs.
+
+func syntheticNodes(n int) []Node {
+	regions := Regions()
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{
+			Name:   "n" + strconv.Itoa(i),
+			Region: regions[i%len(regions)],
+		}
+	}
+	return nodes
+}
+
+func mustNew(nodes []Node, edges []Edge) *Topology {
+	t, err := New(nodes, edges)
+	if err != nil {
+		// Synthetic constructors only produce valid inputs for n >= 1;
+		// failure indicates a bug in this package.
+		panic("topology: invalid synthetic graph: " + err.Error())
+	}
+	return t
+}
+
+// Line returns a path graph n0 - n1 - ... - n(n-1). n must be >= 2.
+func Line(n int) *Topology {
+	nodes := syntheticNodes(n)
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{nodes[i].Name, nodes[i+1].Name})
+	}
+	return mustNew(nodes, edges)
+}
+
+// Ring returns a cycle over n nodes. n must be >= 3.
+func Ring(n int) *Topology {
+	nodes := syntheticNodes(n)
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{nodes[i].Name, nodes[(i+1)%n].Name})
+	}
+	return mustNew(nodes, edges)
+}
+
+// Star returns a star with n0 at the center and n-1 leaves. n must be >= 2.
+func Star(n int) *Topology {
+	nodes := syntheticNodes(n)
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{nodes[0].Name, nodes[i].Name})
+	}
+	return mustNew(nodes, edges)
+}
+
+// TwoClusters returns two fully-meshed clusters of size k bridged by a
+// single long link, modelling the paper's America/Europe running example.
+// Nodes 0..k-1 form cluster A (WesternNA), nodes k..2k-1 form cluster B
+// (Europe). k must be >= 1.
+func TwoClusters(k int) *Topology {
+	n := 2 * k
+	nodes := make([]Node, n)
+	for i := 0; i < k; i++ {
+		nodes[i] = Node{Name: "a" + strconv.Itoa(i), Region: WesternNA}
+	}
+	for i := 0; i < k; i++ {
+		nodes[k+i] = Node{Name: "b" + strconv.Itoa(i), Region: Europe}
+	}
+	var edges []Edge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges,
+				Edge{nodes[i].Name, nodes[j].Name},
+				Edge{nodes[k+i].Name, nodes[k+j].Name})
+		}
+	}
+	edges = append(edges, Edge{nodes[0].Name, nodes[k].Name})
+	return mustNew(nodes, edges)
+}

@@ -1,0 +1,191 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUUNETShape(t *testing.T) {
+	topo := UUNET()
+	if got := topo.NumNodes(); got != 53 {
+		t.Fatalf("NumNodes = %d, want 53 (paper testbed size)", got)
+	}
+	wantRegions := map[Region]int{
+		WesternNA:        18,
+		EasternNA:        17,
+		Europe:           11,
+		PacificAustralia: 7,
+	}
+	total := 0
+	for r, want := range wantRegions {
+		got := len(topo.NodesInRegion(r))
+		if got != want {
+			t.Errorf("region %v has %d nodes, want %d", r, got, want)
+		}
+		total += got
+	}
+	if total != 53 {
+		t.Errorf("regions cover %d nodes, want 53", total)
+	}
+}
+
+func TestUUNETEveryNodeHasNeighbors(t *testing.T) {
+	topo := UUNET()
+	for _, n := range topo.Nodes() {
+		if len(topo.Neighbors(n.ID)) == 0 {
+			t.Errorf("node %s has no links", n.Name)
+		}
+	}
+}
+
+func TestUUNETDeterministic(t *testing.T) {
+	a, b := UUNET(), UUNET()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("two UUNET constructions differ in size")
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		id := NodeID(i)
+		if a.Node(id) != b.Node(id) {
+			t.Fatalf("node %d differs between constructions", i)
+		}
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d neighbor count differs", i)
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatalf("node %d neighbor %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	topo := UUNET()
+	for i := 0; i < topo.NumNodes(); i++ {
+		ns := topo.Neighbors(NodeID(i))
+		for j := 1; j < len(ns); j++ {
+			if ns[j-1] >= ns[j] {
+				t.Fatalf("neighbors of node %d not strictly sorted: %v", i, ns)
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	topo := UUNET()
+	id, ok := topo.Lookup("Tokyo")
+	if !ok {
+		t.Fatal("Lookup(Tokyo) failed")
+	}
+	if topo.Node(id).Region != PacificAustralia {
+		t.Errorf("Tokyo region = %v, want PacificAustralia", topo.Node(id).Region)
+	}
+	if _, ok := topo.Lookup("Atlantis"); ok {
+		t.Error("Lookup(Atlantis) succeeded, want miss")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	n2 := []Node{{Name: "a"}, {Name: "b"}}
+	tests := []struct {
+		name    string
+		nodes   []Node
+		edges   []Edge
+		wantErr error
+	}{
+		{"empty", nil, nil, ErrNoNodes},
+		{"unknown edge endpoint", n2, []Edge{{"a", "zzz"}}, ErrBadEdge},
+		{"self loop", n2, []Edge{{"a", "a"}}, ErrSelfLoop},
+		{"duplicate edge", n2, []Edge{{"a", "b"}, {"b", "a"}}, ErrDuplicateEdge},
+		{"disconnected", []Node{{Name: "a"}, {Name: "b"}, {Name: "c"}}, []Edge{{"a", "b"}}, ErrDisconnected},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.nodes, tc.edges)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("New() err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := New([]Node{{Name: "a"}, {Name: "a"}}, nil); err == nil {
+		t.Fatal("duplicate node names accepted")
+	}
+}
+
+func TestSyntheticGraphs(t *testing.T) {
+	tests := []struct {
+		name      string
+		topo      *Topology
+		wantNodes int
+		wantEdges int
+	}{
+		{"line", Line(5), 5, 4},
+		{"ring", Ring(6), 6, 6},
+		{"star", Star(7), 7, 6},
+		{"two clusters", TwoClusters(3), 6, 7},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.topo.NumNodes(); got != tc.wantNodes {
+				t.Errorf("NumNodes = %d, want %d", got, tc.wantNodes)
+			}
+			if got := tc.topo.NumEdges(); got != tc.wantEdges {
+				t.Errorf("NumEdges = %d, want %d", got, tc.wantEdges)
+			}
+		})
+	}
+}
+
+func TestStarCenterDegree(t *testing.T) {
+	s := Star(10)
+	if got := len(s.Neighbors(0)); got != 9 {
+		t.Fatalf("star center degree = %d, want 9", got)
+	}
+	for i := 1; i < 10; i++ {
+		if got := len(s.Neighbors(NodeID(i))); got != 1 {
+			t.Fatalf("star leaf %d degree = %d, want 1", i, got)
+		}
+	}
+}
+
+func TestTwoClustersBridge(t *testing.T) {
+	tc := TwoClusters(4)
+	// Node 0 should have 4 neighbors (3 in-cluster + bridge), node 4 too.
+	if got := len(tc.Neighbors(0)); got != 4 {
+		t.Fatalf("bridge endpoint a0 degree = %d, want 4", got)
+	}
+	if got := len(tc.Neighbors(4)); got != 4 {
+		t.Fatalf("bridge endpoint b0 degree = %d, want 4", got)
+	}
+	for _, n := range tc.Nodes()[:4] {
+		if n.Region != WesternNA {
+			t.Errorf("cluster A node %s region = %v, want WesternNA", n.Name, n.Region)
+		}
+	}
+	for _, n := range tc.Nodes()[4:] {
+		if n.Region != Europe {
+			t.Errorf("cluster B node %s region = %v, want Europe", n.Name, n.Region)
+		}
+	}
+}
+
+func TestNodesReturnsCopy(t *testing.T) {
+	topo := Line(3)
+	nodes := topo.Nodes()
+	nodes[0].Name = "mutated"
+	if topo.Node(0).Name == "mutated" {
+		t.Fatal("Nodes() exposed internal slice")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for _, r := range Regions() {
+		if r.String() == "" {
+			t.Errorf("region %d has empty name", r)
+		}
+	}
+	if got := Region(99).String(); got != "Region(99)" {
+		t.Errorf("unknown region String() = %q", got)
+	}
+}

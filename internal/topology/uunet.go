@@ -1,0 +1,164 @@
+package topology
+
+// uunetNodes is the reconstructed 53-node UUNET backbone node list:
+// 18 Western North America, 17 Eastern North America, 11 Europe,
+// 7 Pacific Rim & Australia. See the package comment and DESIGN.md §2 for
+// the reconstruction rationale.
+var uunetNodes = []Node{
+	// Western North America (18).
+	{Name: "Seattle", Region: WesternNA},
+	{Name: "Portland", Region: WesternNA},
+	{Name: "Vancouver", Region: WesternNA},
+	{Name: "Calgary", Region: WesternNA},
+	{Name: "Sacramento", Region: WesternNA},
+	{Name: "SanFrancisco", Region: WesternNA},
+	{Name: "SanJose", Region: WesternNA},
+	{Name: "LosAngeles", Region: WesternNA},
+	{Name: "SanDiego", Region: WesternNA},
+	{Name: "LasVegas", Region: WesternNA},
+	{Name: "Phoenix", Region: WesternNA},
+	{Name: "SaltLakeCity", Region: WesternNA},
+	{Name: "Denver", Region: WesternNA},
+	{Name: "Albuquerque", Region: WesternNA},
+	{Name: "Dallas", Region: WesternNA},
+	{Name: "Houston", Region: WesternNA},
+	{Name: "Austin", Region: WesternNA},
+	{Name: "KansasCity", Region: WesternNA},
+	// Eastern North America (17).
+	{Name: "Minneapolis", Region: EasternNA},
+	{Name: "Chicago", Region: EasternNA},
+	{Name: "StLouis", Region: EasternNA},
+	{Name: "Detroit", Region: EasternNA},
+	{Name: "Cleveland", Region: EasternNA},
+	{Name: "Pittsburgh", Region: EasternNA},
+	{Name: "Toronto", Region: EasternNA},
+	{Name: "Montreal", Region: EasternNA},
+	{Name: "Boston", Region: EasternNA},
+	{Name: "NewYork", Region: EasternNA},
+	{Name: "Philadelphia", Region: EasternNA},
+	{Name: "WashingtonDC", Region: EasternNA},
+	{Name: "Raleigh", Region: EasternNA},
+	{Name: "Nashville", Region: EasternNA},
+	{Name: "Atlanta", Region: EasternNA},
+	{Name: "Orlando", Region: EasternNA},
+	{Name: "Miami", Region: EasternNA},
+	// Europe (11).
+	{Name: "London", Region: Europe},
+	{Name: "Dublin", Region: Europe},
+	{Name: "Amsterdam", Region: Europe},
+	{Name: "Brussels", Region: Europe},
+	{Name: "Paris", Region: Europe},
+	{Name: "Frankfurt", Region: Europe},
+	{Name: "Zurich", Region: Europe},
+	{Name: "Milan", Region: Europe},
+	{Name: "Madrid", Region: Europe},
+	{Name: "Copenhagen", Region: Europe},
+	{Name: "Stockholm", Region: Europe},
+	// Pacific Rim & Australia (7).
+	{Name: "Tokyo", Region: PacificAustralia},
+	{Name: "Osaka", Region: PacificAustralia},
+	{Name: "Seoul", Region: PacificAustralia},
+	{Name: "HongKong", Region: PacificAustralia},
+	{Name: "Singapore", Region: PacificAustralia},
+	{Name: "Sydney", Region: PacificAustralia},
+	{Name: "Melbourne", Region: PacificAustralia},
+}
+
+// uunetEdges is the reconstructed link list. Late-90s backbones were
+// sparse partial meshes: long regional chains threading through
+// intermediate POPs, a few ring closures for redundancy, and a handful of
+// transoceanic landings. The chain structure matters for the protocol:
+// almost every node carries transit traffic, so almost every node appears
+// on preference paths and is a legal geo-replication target (a
+// hub-and-spoke mesh would leave spoke nodes invisible to the placement
+// heuristics). All links have unit hop cost.
+var uunetEdges = []Edge{
+	// Western North America: coastal chain + inland chain + closures.
+	{"Vancouver", "Seattle"},
+	{"Calgary", "Vancouver"},
+	{"Calgary", "Denver"},
+	{"Seattle", "Portland"},
+	{"Portland", "Sacramento"},
+	{"Sacramento", "SanFrancisco"},
+	{"Sacramento", "SaltLakeCity"},
+	{"SanFrancisco", "SanJose"},
+	{"SanJose", "LosAngeles"},
+	{"LosAngeles", "SanDiego"},
+	{"LosAngeles", "LasVegas"},
+	{"LasVegas", "SaltLakeCity"},
+	{"SaltLakeCity", "Denver"},
+	{"SanDiego", "Phoenix"},
+	{"Phoenix", "Albuquerque"},
+	{"Albuquerque", "Denver"},
+	{"Albuquerque", "Dallas"},
+	{"Denver", "KansasCity"},
+	{"Dallas", "Austin"},
+	{"Austin", "Houston"},
+	{"Dallas", "KansasCity"},
+	// Southern cross-country chain.
+	{"Houston", "Atlanta"},
+	// Eastern North America: midwest and east-coast chains.
+	{"KansasCity", "StLouis"},
+	{"KansasCity", "Minneapolis"},
+	{"Minneapolis", "Chicago"},
+	{"StLouis", "Chicago"},
+	{"StLouis", "Nashville"},
+	{"Nashville", "Atlanta"},
+	{"Chicago", "Detroit"},
+	{"Detroit", "Cleveland"},
+	{"Detroit", "Toronto"},
+	{"Cleveland", "Pittsburgh"},
+	{"Pittsburgh", "WashingtonDC"},
+	{"Pittsburgh", "Philadelphia"},
+	{"Toronto", "Montreal"},
+	{"Montreal", "Boston"},
+	{"Boston", "NewYork"},
+	{"NewYork", "Philadelphia"},
+	{"Philadelphia", "WashingtonDC"},
+	{"WashingtonDC", "Raleigh"},
+	{"Raleigh", "Atlanta"},
+	{"Atlanta", "Orlando"},
+	{"Orlando", "Miami"},
+	// Transatlantic landings (New York).
+	{"NewYork", "London"},
+	{"NewYork", "Amsterdam"},
+	// Europe: core ring (London-Amsterdam-Frankfurt-Zurich-Milan-Paris)
+	// with Benelux chain and northern/southern spurs.
+	{"Dublin", "London"},
+	{"London", "Amsterdam"},
+	{"Amsterdam", "Frankfurt"},
+	{"Frankfurt", "Zurich"},
+	{"Zurich", "Milan"},
+	{"Milan", "Paris"},
+	{"Paris", "London"},
+	{"Paris", "Madrid"},
+	{"Amsterdam", "Brussels"},
+	{"Brussels", "Paris"},
+	{"Amsterdam", "Copenhagen"},
+	{"Copenhagen", "Stockholm"},
+	// Transpacific landings (US West).
+	{"Seattle", "Tokyo"},
+	{"SanFrancisco", "Tokyo"},
+	{"LosAngeles", "Sydney"},
+	// Pacific Rim & Australia: Japan/Korea triangle + southern chain.
+	{"Tokyo", "Osaka"},
+	{"Osaka", "Seoul"},
+	{"Seoul", "Tokyo"},
+	{"Tokyo", "HongKong"},
+	{"HongKong", "Singapore"},
+	{"Singapore", "Sydney"},
+	{"Sydney", "Melbourne"},
+}
+
+// UUNET returns the reconstructed 53-node UUNET backbone used by all paper
+// experiments. The construction is deterministic; the returned topology is
+// freshly allocated on each call.
+func UUNET() *Topology {
+	t, err := New(uunetNodes, uunetEdges)
+	if err != nil {
+		// The node and edge lists are compile-time constants validated by
+		// tests; a construction failure is unreachable in a correct build.
+		panic("topology: invalid built-in UUNET backbone: " + err.Error())
+	}
+	return t
+}

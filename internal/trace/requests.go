@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"radar/internal/object"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+// Request is one recorded request: which gateway it entered at and which
+// object it asked for.
+type Request struct {
+	Gateway topology.NodeID
+	Object  object.ID
+}
+
+// Recording wraps a workload generator and appends every drawn request to
+// an in-memory log that can be saved with WriteRequests.
+type Recording struct {
+	inner workload.Generator
+	log   []Request
+	limit int
+}
+
+// NewRecording wraps inner; limit caps the log size (0 = unlimited).
+func NewRecording(inner workload.Generator, limit int) *Recording {
+	return &Recording{inner: inner, limit: limit}
+}
+
+// Name implements workload.Generator.
+func (r *Recording) Name() string { return r.inner.Name() + "+recorded" }
+
+// Next implements workload.Generator.
+func (r *Recording) Next(g topology.NodeID, rng *rand.Rand) object.ID {
+	id := r.inner.Next(g, rng)
+	if r.limit == 0 || len(r.log) < r.limit {
+		r.log = append(r.log, Request{Gateway: g, Object: id})
+	}
+	return id
+}
+
+// Log returns the recorded requests (shared slice; do not modify).
+func (r *Recording) Log() []Request { return r.log }
+
+// Replay plays a request log back as a workload generator: each gateway
+// consumes its own recorded sub-sequence, cycling when exhausted, so the
+// per-gateway object mix matches the recording regardless of the replay's
+// request pacing.
+type Replay struct {
+	name   string
+	perGW  map[topology.NodeID][]object.ID
+	cursor map[topology.NodeID]int
+	// fallback covers gateways with no recorded requests.
+	fallback []object.ID
+}
+
+// NewReplay builds a replay generator from a log. The log must be
+// non-empty.
+func NewReplay(name string, log []Request) (*Replay, error) {
+	if len(log) == 0 {
+		return nil, fmt.Errorf("trace: empty request log")
+	}
+	r := &Replay{
+		name:   name,
+		perGW:  make(map[topology.NodeID][]object.ID),
+		cursor: make(map[topology.NodeID]int),
+	}
+	for _, req := range log {
+		r.perGW[req.Gateway] = append(r.perGW[req.Gateway], req.Object)
+		r.fallback = append(r.fallback, req.Object)
+	}
+	return r, nil
+}
+
+// Name implements workload.Generator.
+func (r *Replay) Name() string { return r.name }
+
+// Next implements workload.Generator. The rng is only used for gateways
+// absent from the recording.
+func (r *Replay) Next(g topology.NodeID, rng *rand.Rand) object.ID {
+	seq := r.perGW[g]
+	if len(seq) == 0 {
+		return r.fallback[rng.Intn(len(r.fallback))]
+	}
+	id := seq[r.cursor[g]%len(seq)]
+	r.cursor[g]++
+	return id
+}
+
+// WriteRequests saves a request log as "gateway,object" CSV lines.
+func WriteRequests(w io.Writer, log []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, req := range log {
+		if _, err := fmt.Fprintf(bw, "%d,%d\n", req.Gateway, req.Object); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// ReadRequests parses a request log written by WriteRequests.
+func ReadRequests(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		gw, obj, ok := strings.Cut(text, ",")
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: want gateway,object", line)
+		}
+		g, err := strconv.Atoi(strings.TrimSpace(gw))
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad gateway: %w", line, err)
+		}
+		o, err := strconv.Atoi(strings.TrimSpace(obj))
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad object: %w", line, err)
+		}
+		out = append(out, Request{Gateway: topology.NodeID(g), Object: object.ID(o)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"radar/internal/object"
+	"radar/internal/topology"
+)
+
+// Focused models vicinity-concentrated demand — the §3 motivating case
+// where "a server is swamped with requests originating from its
+// vicinity": a designated set of gateways directs pFocus of its requests
+// at a fixed target object set, while all other traffic follows a
+// background generator. With closest-replica routing no amount of
+// replication relieves the target's home servers; the paper's distributor
+// spills the excess to remote replicas.
+type Focused struct {
+	targets    []object.ID
+	inFocus    map[topology.NodeID]bool
+	pFocus     float64
+	background Generator
+}
+
+// NewFocused builds the generator. focusGateways draw from targets with
+// probability pFocus and otherwise (and for all other gateways) fall back
+// to background.
+func NewFocused(targets []object.ID, focusGateways []topology.NodeID, pFocus float64, background Generator) (*Focused, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("workload: focused needs target objects")
+	}
+	if len(focusGateways) == 0 {
+		return nil, fmt.Errorf("workload: focused needs focus gateways")
+	}
+	if pFocus <= 0 || pFocus > 1 {
+		return nil, fmt.Errorf("workload: pFocus %v must be in (0,1]", pFocus)
+	}
+	if background == nil {
+		return nil, fmt.Errorf("workload: focused needs a background generator")
+	}
+	f := &Focused{
+		targets:    append([]object.ID(nil), targets...),
+		inFocus:    make(map[topology.NodeID]bool, len(focusGateways)),
+		pFocus:     pFocus,
+		background: background,
+	}
+	for _, g := range focusGateways {
+		f.inFocus[g] = true
+	}
+	return f, nil
+}
+
+// Name implements Generator.
+func (f *Focused) Name() string { return "focused" }
+
+// Next implements Generator.
+func (f *Focused) Next(g topology.NodeID, rng *rand.Rand) object.ID {
+	if f.inFocus[g] && rng.Float64() < f.pFocus {
+		return f.targets[rng.Intn(len(f.targets))]
+	}
+	return f.background.Next(g, rng)
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"radar/internal/object"
+	"radar/internal/topology"
+)
+
+func TestFocusedRouting(t *testing.T) {
+	u := object.Universe{Count: 100, SizeBytes: 1}
+	bg, err := NewUniform(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []object.ID{5, 10, 15}
+	f, err := NewFocused(targets, []topology.NodeID{2}, 1.0, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetSet := map[object.ID]bool{5: true, 10: true, 15: true}
+	rng := Stream(1, 0)
+	for i := 0; i < 1000; i++ {
+		if id := f.Next(2, rng); !targetSet[id] {
+			t.Fatalf("focus gateway drew non-target %d at pFocus=1", id)
+		}
+	}
+	// Non-focus gateways follow the background: they must cover far more
+	// than the target set.
+	seen := map[object.ID]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[f.Next(7, rng)] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("background gateway covered only %d objects", len(seen))
+	}
+}
+
+func TestFocusedPartialProbability(t *testing.T) {
+	u := object.Universe{Count: 1000, SizeBytes: 1}
+	bg, err := NewUniform(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFocused([]object.ID{1}, []topology.NodeID{0}, 0.5, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := Stream(2, 0)
+	hits := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if f.Next(0, rng) == 1 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / draws; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("target share = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestFocusedValidation(t *testing.T) {
+	u := object.Universe{Count: 10, SizeBytes: 1}
+	bg, _ := NewUniform(u)
+	if _, err := NewFocused(nil, []topology.NodeID{0}, 0.5, bg); err == nil {
+		t.Error("empty targets accepted")
+	}
+	if _, err := NewFocused([]object.ID{1}, nil, 0.5, bg); err == nil {
+		t.Error("empty gateways accepted")
+	}
+	if _, err := NewFocused([]object.ID{1}, []topology.NodeID{0}, 0, bg); err == nil {
+		t.Error("zero pFocus accepted")
+	}
+	if _, err := NewFocused([]object.ID{1}, []topology.NodeID{0}, 0.5, nil); err == nil {
+		t.Error("nil background accepted")
+	}
+	if f, err := NewFocused([]object.ID{1}, []topology.NodeID{0}, 0.5, bg); err != nil || f.Name() != "focused" {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}

@@ -1,0 +1,22 @@
+package workload
+
+import "math/rand"
+
+// splitmix64 advances and hashes a 64-bit state. It is the standard seed
+// expander for deriving statistically independent streams from one master
+// seed, so every simulation component gets its own deterministic PRNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream returns a deterministic PRNG for the given (master seed, stream)
+// pair. Distinct streams are independent; the same pair always yields the
+// same sequence, which keeps whole simulation runs reproducible.
+func Stream(master int64, stream uint64) *rand.Rand {
+	mixed := splitmix64(splitmix64(uint64(master)) ^ splitmix64(stream+0x5851f42d4c957f2d))
+	return rand.New(rand.NewSource(int64(mixed)))
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfReedsRange(t *testing.T) {
+	z := NewZipfReeds(1000)
+	rng := Stream(1, 1)
+	for i := 0; i < 100000; i++ {
+		r := z.Rank(rng)
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of [1,1000]", r)
+		}
+	}
+}
+
+func TestZipfReedsSingleObject(t *testing.T) {
+	z := NewZipfReeds(1)
+	rng := Stream(2, 1)
+	for i := 0; i < 100; i++ {
+		if r := z.Rank(rng); r != 1 {
+			t.Fatalf("rank = %d, want 1", r)
+		}
+	}
+}
+
+func TestZipfReedsMonotonePopularity(t *testing.T) {
+	// Rank 1 must be sampled more often than rank 10, which must beat
+	// rank 100 — the defining property of a Zipf-like head.
+	z := NewZipfReeds(1000)
+	rng := Stream(3, 1)
+	counts := make(map[int]int)
+	const draws = 500000
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	if !(counts[1] > counts[10] && counts[10] > counts[100]) {
+		t.Fatalf("popularity not decreasing: c1=%d c10=%d c100=%d", counts[1], counts[10], counts[100])
+	}
+}
+
+func TestZipfReedsMatchesAnalyticMass(t *testing.T) {
+	// Under the Reeds closed form, rank k receives probability mass
+	// (ln(min(k+1/2, n)) - ln(max(k-1/2, 1))) / ln(n). Verify the sampler
+	// against its own analytic distribution at head ranks.
+	const n = 1000
+	const draws = 2000000
+	z := NewZipfReeds(n)
+	rng := Stream(4, 1)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	logN := math.Log(n)
+	for _, rank := range []int{1, 2, 3, 5, 8, 20} {
+		lo := math.Max(float64(rank)-0.5, 1)
+		hi := math.Min(float64(rank)+0.5, n)
+		want := (math.Log(hi) - math.Log(lo)) / logN
+		got := float64(counts[rank]) / draws
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("rank %d: got frequency %.5f, analytic %.5f (rel err %.2f > 0.10)", rank, got, want, rel)
+		}
+	}
+}
+
+func TestZipfReedsNearZipfMidRanks(t *testing.T) {
+	// Away from the rounding artifact at rank 1, the approximation should
+	// track exact Zipf within the paper's quoted ~15% (we allow 25% for
+	// sampling noise at low-mass ranks).
+	const n = 1000
+	const draws = 2000000
+	z := NewZipfReeds(n)
+	rng := Stream(14, 1)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	for _, rank := range []int{5, 10, 20, 50} {
+		want := 1 / float64(rank) / h
+		got := float64(counts[rank]) / draws
+		if rel := math.Abs(got-want) / want; rel > 0.25 {
+			t.Errorf("rank %d: got %.5f, exact Zipf %.5f (rel err %.2f > 0.25)", rank, got, want, rel)
+		}
+	}
+}
+
+func TestZipfExactMatchesHarmonicWeights(t *testing.T) {
+	const n = 100
+	const draws = 1000000
+	z := NewZipfExact(n)
+	rng := Stream(5, 1)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		r := z.Rank(rng)
+		if r < 1 || r > n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	for _, rank := range []int{1, 2, 4, 10} {
+		want := 1 / float64(rank) / h
+		got := float64(counts[rank]) / draws
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("rank %d: frequency %.5f, want %.5f (rel %.3f)", rank, got, want, rel)
+		}
+	}
+}
+
+func TestZipfRankAlwaysInRangeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%5000 + 1
+		z := NewZipfReeds(n)
+		rng := Stream(seed, 99)
+		for i := 0; i < 200; i++ {
+			r := z.Rank(rng)
+			if r < 1 || r > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamIndependenceAndDeterminism(t *testing.T) {
+	a1 := Stream(42, 1)
+	a2 := Stream(42, 1)
+	b := Stream(42, 2)
+	c := Stream(43, 1)
+	sameAsA1 := true
+	diffB, diffC := false, false
+	for i := 0; i < 100; i++ {
+		v := a1.Int63()
+		if a2.Int63() != v {
+			sameAsA1 = false
+		}
+		if b.Int63() != v {
+			diffB = true
+		}
+		if c.Int63() != v {
+			diffC = true
+		}
+	}
+	if !sameAsA1 {
+		t.Error("same (seed, stream) produced different sequences")
+	}
+	if !diffB {
+		t.Error("different streams produced identical sequences")
+	}
+	if !diffC {
+		t.Error("different seeds produced identical sequences")
+	}
+}

@@ -1,0 +1,355 @@
+// Package radar is a from-scratch reproduction of "A Dynamic Object
+// Replication and Migration Protocol for an Internet Hosting Service"
+// (M. Rabinovich, I. Rabinovich, R. Rajaraman, A. Aggarwal, ICDCS 1999) —
+// the protocol suite behind AT&T's RaDaR hosting platform.
+//
+// The package exposes a small facade over the full system: a discrete-event
+// simulation of an Internet hosting service on a reconstructed 53-node
+// UUNET backbone, running the paper's request distribution algorithm
+// (Fig. 2), autonomous replica placement (Fig. 3), replica creation
+// handshake (Fig. 4) and host offloading (Fig. 5), under the paper's four
+// synthetic workloads. Run executes one configured simulation and returns
+// the series and aggregates behind the paper's tables and figures.
+//
+// The implementation lives under internal/: the protocol state machines
+// (internal/protocol), the theorem bounds (Theorems 1-5), the backbone
+// topology and routing substrate, the network and server models, workload
+// generators, the consistency layer of §5, and the experiment harness that
+// regenerates every published table and figure (cmd/radar-experiments).
+package radar
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"radar/internal/consistency"
+	"radar/internal/metrics"
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/report"
+	"radar/internal/sim"
+	"radar/internal/topology"
+	"radar/internal/trace"
+	"radar/internal/workload"
+)
+
+// Workload names one of the paper's synthetic demand shapes (§6.1).
+type Workload string
+
+// The paper's workloads plus a uniform control.
+const (
+	// Zipf draws pages by popularity rank under Zipf's law (Reeds
+	// closed-form approximation).
+	Zipf Workload = "zipf"
+	// HotSites concentrates 90% of demand on pages initially homed at
+	// ~10% of the sites: the hot-spot removal stress test.
+	HotSites Workload = "hot-sites"
+	// HotPages makes 10% of pages uniformly popular (90% of demand),
+	// spread across all sites.
+	HotPages Workload = "hot-pages"
+	// Regional gives each of the four backbone regions a preferred 1%
+	// slice of the namespace drawing 90% of its demand.
+	Regional Workload = "regional"
+	// Uniform requests every object equally from everywhere.
+	Uniform Workload = "uniform"
+)
+
+// Policy names a request distribution algorithm.
+type Policy string
+
+// Request distribution policies.
+const (
+	// PolicyPaper is the paper's Fig. 2 algorithm: closest replica unless
+	// its unit request count exceeds twice the minimum.
+	PolicyPaper Policy = "paper"
+	// PolicyRoundRobin rotates over replicas (a §3 strawman).
+	PolicyRoundRobin Policy = "round-robin"
+	// PolicyClosest always uses the closest replica (a §3 strawman).
+	PolicyClosest Policy = "closest"
+)
+
+// Consistency selects the §5 replica consistency regime.
+type Consistency string
+
+// Consistency regimes.
+const (
+	// ConsistencyNone models an all-static object population: every
+	// object may replicate freely (the paper's evaluation setting).
+	ConsistencyNone Consistency = "none"
+	// ConsistencyMixed assigns the §5 category mix (85% static, 10%
+	// commuting, 5% non-commuting with migrate-only placement).
+	ConsistencyMixed Consistency = "mixed"
+)
+
+// Config configures one simulation run. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Workload selects the demand shape.
+	Workload Workload
+	// Objects is the hosted object count (Table 1: 10,000).
+	Objects int
+	// ObjectSizeBytes is the uniform object size (Table 1: 12 KB).
+	ObjectSizeBytes int
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// HighLoad selects the Figure 9 watermarks (50/40) instead of
+	// Table 1's (90/80).
+	HighLoad bool
+	// Static disables dynamic placement (the no-replication baseline).
+	Static bool
+	// Policy selects the request distribution algorithm.
+	Policy Policy
+	// Consistency selects the §5 object category regime.
+	Consistency Consistency
+	// NumRedirectors hash-partitions the URL namespace (default 1).
+	NumRedirectors int
+	// PoissonArrivals switches gateways from the paper's constant
+	// request spacing to Poisson arrivals.
+	PoissonArrivals bool
+	// LinkContention serializes transfers on each directed link instead
+	// of the paper's fixed per-hop transmission cost.
+	LinkContention bool
+	// SwitchTo, when non-empty, swaps the demand to this workload at
+	// SwitchAt — for responsiveness studies of demand-pattern changes.
+	SwitchTo Workload
+	// SwitchAt is the virtual time of the workload switch.
+	SwitchAt time.Duration
+	// TraceWriter, when non-nil, receives a JSONL stream of every
+	// placement protocol event (migrations, replications, drops,
+	// refusals) for offline analysis.
+	TraceWriter io.Writer
+}
+
+// DefaultConfig returns the paper's Table 1 configuration under the given
+// workload.
+func DefaultConfig(w Workload) Config {
+	return Config{
+		Seed:            1,
+		Workload:        w,
+		Objects:         10000,
+		ObjectSizeBytes: 12 << 10,
+		Duration:        40 * time.Minute,
+		Policy:          PolicyPaper,
+		Consistency:     ConsistencyNone,
+		NumRedirectors:  1,
+	}
+}
+
+// Point is one sample of a reported time series.
+type Point struct {
+	// T is the bucket start time.
+	T time.Duration
+	// V is the bucket value.
+	V float64
+}
+
+// LoadSample is one Figure 8b sample: a host's measured load between its
+// lower and upper protocol estimates.
+type LoadSample struct {
+	T      time.Duration
+	Actual float64
+	Lower  float64
+	Upper  float64
+}
+
+// Summary carries a run's headline numbers.
+type Summary struct {
+	// BandwidthInitial/Equilibrium are backbone traffic levels in
+	// byte×hops per second at the start and end of the run;
+	// BandwidthReductionPct compares them (Figure 6).
+	BandwidthInitial      float64
+	BandwidthEquilibrium  float64
+	BandwidthReductionPct float64
+	// Latency aggregates, in seconds (Figure 6).
+	LatencyInitial      float64
+	LatencyEquilibrium  float64
+	LatencyReductionPct float64
+	// OverheadPercent is protocol traffic as a share of total (Figure 7).
+	OverheadPercent float64
+	// MaxLoadPeak/Settled track the hottest server (Figure 8a).
+	MaxLoadPeak    float64
+	MaxLoadSettled float64
+	// AdjustmentTime is Table 2's responsiveness metric; Adjusted is
+	// false when the run never settled.
+	AdjustmentTime time.Duration
+	Adjusted       bool
+	// AvgReplicas is the final average number of replicas per object
+	// (Table 2).
+	AvgReplicas float64
+	// Requests served and abandoned.
+	TotalServed      int64
+	TimedOutRequests int64
+	// Placement activity.
+	GeoMigrations    int64
+	GeoReplications  int64
+	LoadMigrations   int64
+	LoadReplications int64
+	Drops            int64
+	Refusals         int64
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Summary Summary
+	// Per-bucket series behind Figures 6, 7, 8a and 9.
+	Bandwidth   []Point
+	Latency     []Point
+	LatencyP99  []Point
+	OverheadPct []Point
+	MaxLoad     []Point
+	// HostLoad is the Figure 8b trace for the tracked host.
+	HostLoad []LoadSample
+
+	raw *sim.Results
+}
+
+// Run executes one simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	simCfg, err := buildSimConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(*simCfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.InvariantsError != nil {
+		return nil, fmt.Errorf("radar: post-run invariant check failed: %w", res.InvariantsError)
+	}
+	return convert(res), nil
+}
+
+func buildSimConfig(cfg Config) (*sim.Config, error) {
+	topo := topology.UUNET()
+	u := object.Universe{Count: cfg.Objects, SizeBytes: cfg.ObjectSizeBytes}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := buildWorkload(cfg.Workload, u, topo, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.DefaultConfig(gen, cfg.Seed)
+	simCfg.Topo = topo
+	simCfg.Universe = u
+	if cfg.Duration > 0 {
+		simCfg.Duration = cfg.Duration
+	}
+	if cfg.HighLoad {
+		simCfg.Protocol = protocol.HighLoadParams()
+	}
+	simCfg.DynamicPlacement = !cfg.Static
+	switch cfg.Policy {
+	case PolicyPaper, "":
+		simCfg.Policy = protocol.PolicyPaper
+	case PolicyRoundRobin:
+		simCfg.Policy = protocol.PolicyRoundRobin
+	case PolicyClosest:
+		simCfg.Policy = protocol.PolicyClosest
+	default:
+		return nil, fmt.Errorf("radar: unknown policy %q", cfg.Policy)
+	}
+	switch cfg.Consistency {
+	case ConsistencyNone, "":
+		// All objects replicate freely.
+	case ConsistencyMixed:
+		mgr, err := consistency.New(u, consistency.DefaultMix(), topo.NumNodes(), 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		simCfg.Consistency = mgr
+	default:
+		return nil, fmt.Errorf("radar: unknown consistency regime %q", cfg.Consistency)
+	}
+	if cfg.NumRedirectors > 0 {
+		simCfg.NumRedirectors = cfg.NumRedirectors
+	}
+	simCfg.PoissonArrivals = cfg.PoissonArrivals
+	simCfg.Net.Contention = cfg.LinkContention
+	if cfg.SwitchTo != "" {
+		to, err := buildWorkload(cfg.SwitchTo, u, topo, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		simCfg.WorkloadSwitch.At = cfg.SwitchAt
+		simCfg.WorkloadSwitch.To = to
+	}
+	if cfg.TraceWriter != nil {
+		simCfg.ExtraObserver = trace.NewWriter(cfg.TraceWriter)
+	}
+	return &simCfg, nil
+}
+
+func buildWorkload(w Workload, u object.Universe, topo *topology.Topology, seed int64) (workload.Generator, error) {
+	switch w {
+	case Zipf:
+		return workload.NewZipf(u)
+	case HotSites:
+		return workload.NewHotSites(u, topo.NumNodes(), 0.9, seed)
+	case HotPages:
+		return workload.NewHotPages(u, 0.1, 0.9, seed)
+	case Regional:
+		return workload.NewRegional(u, topo, 0.01, 0.9)
+	case Uniform:
+		return workload.NewUniform(u)
+	default:
+		return nil, fmt.Errorf("radar: unknown workload %q", w)
+	}
+}
+
+func convert(res *sim.Results) *Result {
+	conv := func(in []metrics.Point) []Point {
+		out := make([]Point, len(in))
+		for i, p := range in {
+			out[i] = Point{T: p.T, V: p.V}
+		}
+		return out
+	}
+	r := &Result{
+		Summary: Summary{
+			BandwidthInitial:      res.BandwidthStats.Initial,
+			BandwidthEquilibrium:  res.BandwidthStats.Equilibrium,
+			BandwidthReductionPct: res.BandwidthStats.ReductionPercent,
+			LatencyInitial:        res.LatencyStats.Initial,
+			LatencyEquilibrium:    res.LatencyStats.Equilibrium,
+			LatencyReductionPct:   res.LatencyStats.ReductionPercent,
+			OverheadPercent:       res.OverheadPercent,
+			MaxLoadPeak:           res.MaxLoadPeak,
+			MaxLoadSettled:        res.MaxLoadSettled,
+			AdjustmentTime:        res.AdjustmentTime,
+			Adjusted:              res.Adjusted,
+			AvgReplicas:           res.AvgReplicas,
+			TotalServed:           res.TotalServed,
+			TimedOutRequests:      res.TimedOutRequests,
+			GeoMigrations:         res.Counters.GeoMigrations,
+			GeoReplications:       res.Counters.GeoReplications,
+			LoadMigrations:        res.Counters.LoadMigrations,
+			LoadReplications:      res.Counters.LoadReplications,
+			Drops:                 res.Counters.Drops,
+			Refusals:              res.Counters.Refusals,
+		},
+		Bandwidth:   conv(res.Bandwidth),
+		Latency:     conv(res.Latency),
+		LatencyP99:  conv(res.LatencyP99),
+		OverheadPct: conv(res.OverheadPct),
+		MaxLoad:     conv(res.MaxLoad),
+		raw:         res,
+	}
+	r.HostLoad = make([]LoadSample, len(res.HostLoad))
+	for i, s := range res.HostLoad {
+		r.HostLoad[i] = LoadSample{T: s.T, Actual: s.Actual, Lower: s.Lower, Upper: s.Upper}
+	}
+	return r
+}
+
+// WriteSummary renders the run's summary table to w.
+func (r *Result) WriteSummary(w io.Writer) error {
+	return report.Summary(r.raw).Render(w)
+}
