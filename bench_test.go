@@ -267,6 +267,38 @@ func BenchmarkEndToEndQuickRun(b *testing.B) {
 	}
 }
 
+// benchRunSeeds measures a four-seed batch through the experiments
+// engine at the given parallelism. Per-seed results are bit-identical at
+// every parallelism level, so on a multi-core machine the parallel
+// variant shows the engine's wall-clock win directly against the
+// sequential one.
+func benchRunSeeds(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := radar.DefaultConfig(radar.Zipf)
+	cfg.Objects = 500
+	cfg.Duration = 2 * time.Minute
+	seeds := []int64{1, 2, 3, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, err := radar.RunSeeds(cfg, seeds, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Summary.TotalServed == 0 {
+				b.Fatal("no requests served")
+			}
+		}
+	}
+}
+
+// BenchmarkEngineMultiSeedSequential is the engine pinned to one worker.
+func BenchmarkEngineMultiSeedSequential(b *testing.B) { benchRunSeeds(b, 1) }
+
+// BenchmarkEngineMultiSeedParallel fans the batch out across GOMAXPROCS
+// workers.
+func BenchmarkEngineMultiSeedParallel(b *testing.B) { benchRunSeeds(b, 0) }
+
 func shortName(workload string) string {
 	switch workload {
 	case "hot-sites":

@@ -3,12 +3,18 @@
 // Figure 7 overhead analysis, the Figure 8a/8b load plots, Table 2, the
 // Figure 9 high-load rerun, and the ablations documented in DESIGN.md.
 //
+// Independent simulations fan out over a bounded worker pool (the
+// experiments engine); -parallelism bounds the pool and every level
+// produces identical tables.
+//
 // Examples:
 //
-//	radar-experiments                  # full paper scale (several minutes)
-//	radar-experiments -quick           # reduced scale (about a minute)
+//	radar-experiments                  # full paper scale, GOMAXPROCS-wide
+//	radar-experiments -quick           # reduced scale
+//	radar-experiments -parallelism 1   # sequential (same results, slower)
 //	radar-experiments -only figures    # skip the ablations
 //	radar-experiments -csv out/        # also dump the series data
+//	radar-experiments -times           # include per-run wall-clock tables
 package main
 
 import (
@@ -18,7 +24,6 @@ import (
 	"time"
 
 	"radar/internal/experiments"
-	"radar/internal/report"
 )
 
 func main() {
@@ -30,14 +35,16 @@ func main() {
 
 func run() error {
 	var (
-		seed   = flag.Int64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", false, "reduced scale (2000 objects, halved durations)")
-		only   = flag.String("only", "all", "what to run: all | figures | figure9 | ablations | multiseed")
-		seeds  = flag.Int("seeds", 3, "number of seeds for -only multiseed")
-		csvDir = flag.String("csv", "", "directory for per-figure series CSVs")
+		seed        = flag.Int64("seed", 1, "random seed")
+		quick       = flag.Bool("quick", false, "reduced scale (2000 objects, halved durations)")
+		only        = flag.String("only", "all", "what to run: all | figures | figure9 | ablations | multiseed")
+		seeds       = flag.Int("seeds", 3, "number of seeds for -only multiseed")
+		csvDir      = flag.String("csv", "", "directory for per-figure series CSVs")
+		parallelism = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any level")
+		times       = flag.Bool("times", false, "also print per-run wall-clock tables (non-deterministic output)")
 	)
 	flag.Parse()
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallelism}
 	start := time.Now()
 
 	if *only == "all" || *only == "figures" {
@@ -48,6 +55,12 @@ func run() error {
 		}
 		if err := suite.RenderAll(os.Stdout); err != nil {
 			return err
+		}
+		if *times {
+			if err := suite.Timing().Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
 		if *csvDir != "" {
 			if err := suite.WriteCSVs(*csvDir); err != nil {
@@ -64,6 +77,12 @@ func run() error {
 		}
 		if err := suite.RenderAll(os.Stdout); err != nil {
 			return err
+		}
+		if *times {
+			if err := suite.Timing().Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
 		if *csvDir != "" {
 			if err := suite.WriteCSVs(*csvDir); err != nil {
@@ -85,25 +104,20 @@ func run() error {
 		if err := ms.Table().Render(os.Stdout); err != nil {
 			return err
 		}
+		if *times {
+			if err := ms.Timing().Render(os.Stdout); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *only == "all" || *only == "ablations" {
 		fmt.Println("== Ablations ==")
-		ablations := []func(experiments.Options) (*report.Table, error){
-			experiments.AblationDistribution,
-			experiments.AblationFullReplication,
-			experiments.AblationConstant,
-			experiments.AblationThresholds,
-			experiments.AblationBulkOffload,
-			experiments.AblationNeighborOnly,
-			experiments.AblationOracle,
-			experiments.AblationRedirectors,
+		tables, err := experiments.RunAblations(opts)
+		if err != nil {
+			return err
 		}
-		for _, ab := range ablations {
-			tbl, err := ab(opts)
-			if err != nil {
-				return err
-			}
+		for _, tbl := range tables {
 			if err := tbl.Render(os.Stdout); err != nil {
 				return err
 			}

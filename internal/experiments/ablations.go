@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radar/internal/protocol"
@@ -8,6 +9,16 @@ import (
 	"radar/internal/sim"
 	"radar/internal/topology"
 )
+
+// Each ablation builds its sweep points up front, fans them out on the
+// parallel engine (fail-fast), and assembles its table from the ordered
+// results, so rows always appear in point order regardless of which run
+// finishes first.
+
+// runAblationJobs executes an ablation's points on the options' engine.
+func runAblationJobs(opts Options, jobs []Job) ([]JobResult, error) {
+	return opts.engine().Run(context.Background(), jobs)
+}
 
 // AblationDistribution compares the paper's request distribution algorithm
 // against the §3 strawmen on the hot-sites workload, where both failure
@@ -23,18 +34,24 @@ func AblationDistribution(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	policies := []protocol.Policy{protocol.PolicyPaper, protocol.PolicyRoundRobin, protocol.PolicyClosest}
+	jobs := make([]Job, 0, len(policies))
+	for _, pol := range policies {
+		cfg := baseConfig(gens["hot-sites"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-sites")
+		cfg.Policy = pol
+		jobs = append(jobs, Job{Label: "policy/" + pol.String(), Config: cfg})
+	}
+	results, err := runAblationJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{
 		Title:   "Ablation A1 (§3): request distribution policies on hot-sites",
 		Headers: []string{"policy", "bw equilibrium (B·hops/s)", "latency eq (s)", "max load settled", "timeouts", "avg replicas"},
 	}
-	for _, pol := range []protocol.Policy{protocol.PolicyPaper, protocol.PolicyRoundRobin, protocol.PolicyClosest} {
-		cfg := baseConfig(gens["hot-sites"], opts, false)
-		cfg.Duration = opts.dynamicDuration("hot-sites")
-		cfg.Policy = pol
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: policy %v: %w", pol, err)
-		}
+	for i, pol := range policies {
+		res := results[i].Results
 		t.AddRow(pol.String(),
 			report.F(res.BandwidthStats.Equilibrium, 0),
 			report.F(res.LatencyStats.Equilibrium, 3),
@@ -61,25 +78,29 @@ func AblationFullReplication(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &report.Table{
-		Title:   "Ablation A2 (§4): replicate-everywhere vs selective dynamic placement",
-		Headers: []string{"workload", "placement", "bw equilibrium (B·hops/s)", "latency eq (s)", "avg replicas"},
-	}
-	for _, name := range []string{"zipf", "regional"} {
+	names := []string{"zipf", "regional"}
+	var jobs []Job
+	for _, name := range names {
 		full := baseConfig(gens[name], opts, false)
 		full.Duration = opts.staticDuration()
 		full.DynamicPlacement = false
 		full.ReplicateEverywhere = true
-		fullRes, err := runOne(full)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: full replication %s: %w", name, err)
-		}
+		jobs = append(jobs, Job{Label: "full/" + name, Config: full})
+
 		dyn := baseConfig(gens[name], opts, false)
 		dyn.Duration = opts.dynamicDuration(name)
-		dynRes, err := runOne(dyn)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: dynamic %s: %w", name, err)
-		}
+		jobs = append(jobs, Job{Label: "dynamic/" + name, Config: dyn})
+	}
+	results, err := runAblationJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A2 (§4): replicate-everywhere vs selective dynamic placement",
+		Headers: []string{"workload", "placement", "bw equilibrium (B·hops/s)", "latency eq (s)", "avg replicas"},
+	}
+	for i, name := range names {
+		fullRes, dynRes := results[2*i].Results, results[2*i+1].Results
 		t.AddRow(name, "replicate everywhere",
 			report.F(fullRes.BandwidthStats.Equilibrium, 0),
 			report.F(fullRes.LatencyStats.Equilibrium, 3),
@@ -101,18 +122,24 @@ func AblationConstant(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	consts := []float64{1.5, 2, 3, 4}
+	jobs := make([]Job, 0, len(consts))
+	for _, c := range consts {
+		cfg := baseConfig(gens["hot-pages"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-pages")
+		cfg.Protocol.DistConstant = c
+		jobs = append(jobs, Job{Label: fmt.Sprintf("constant/%v", c), Config: cfg})
+	}
+	results, err := runAblationJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{
 		Title:   "Ablation A3 (§6.1): distribution constant sweep on hot-pages",
 		Headers: []string{"constant", "bw equilibrium (B·hops/s)", "latency eq (s)", "max load settled", "avg replicas"},
 	}
-	for _, c := range []float64{1.5, 2, 3, 4} {
-		cfg := baseConfig(gens["hot-pages"], opts, false)
-		cfg.Duration = opts.dynamicDuration("hot-pages")
-		cfg.Protocol.DistConstant = c
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: constant %v: %w", c, err)
-		}
+	for i, c := range consts {
+		res := results[i].Results
 		t.AddRow(report.F(c, 1),
 			report.F(res.BandwidthStats.Equilibrium, 0),
 			report.F(res.LatencyStats.Equilibrium, 3),
@@ -131,22 +158,28 @@ func AblationThresholds(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &report.Table{
-		Title:   "Ablation A4 (§6.1): deletion/replication threshold sweep on hot-pages",
-		Headers: []string{"u (req/s)", "m/u", "bw equilibrium (B·hops/s)", "avg replicas", "drops", "overhead %"},
-	}
 	type pt struct {
 		u, ratio float64
 	}
-	for _, p := range []pt{{0.015, 6}, {0.03, 4.5}, {0.03, 6}, {0.03, 9}, {0.06, 6}} {
+	pts := []pt{{0.015, 6}, {0.03, 4.5}, {0.03, 6}, {0.03, 9}, {0.06, 6}}
+	jobs := make([]Job, 0, len(pts))
+	for _, p := range pts {
 		cfg := baseConfig(gens["hot-pages"], opts, false)
 		cfg.Duration = opts.dynamicDuration("hot-pages")
 		cfg.Protocol.DeletionThreshold = p.u
 		cfg.Protocol.ReplicationThreshold = p.u * p.ratio
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: thresholds %v: %w", p, err)
-		}
+		jobs = append(jobs, Job{Label: fmt.Sprintf("thresholds/u=%v,ratio=%v", p.u, p.ratio), Config: cfg})
+	}
+	results, err := runAblationJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A4 (§6.1): deletion/replication threshold sweep on hot-pages",
+		Headers: []string{"u (req/s)", "m/u", "bw equilibrium (B·hops/s)", "avg replicas", "drops", "overhead %"},
+	}
+	for i, p := range pts {
+		res := results[i].Results
 		t.AddRow(report.F(p.u, 3), report.F(p.ratio, 1),
 			report.F(res.BandwidthStats.Equilibrium, 0),
 			report.F(res.AvgReplicas, 2),
@@ -170,10 +203,6 @@ func AblationNeighborOnly(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &report.Table{
-		Title:   "Ablation A6 (§1.1): paper protocol vs neighbor-only placement + closest routing (hot-sites)",
-		Headers: []string{"protocol", "bw equilibrium (B·hops/s)", "latency eq (s)", "max load settled", "timeouts", "avg replicas"},
-	}
 	variants := []struct {
 		label  string
 		mutate func(*sim.Config)
@@ -184,14 +213,23 @@ func AblationNeighborOnly(opts Options) (*report.Table, error) {
 			cfg.Policy = protocol.PolicyClosest
 		}},
 	}
+	jobs := make([]Job, 0, len(variants))
 	for _, v := range variants {
 		cfg := baseConfig(gens["hot-sites"], opts, false)
 		cfg.Duration = opts.dynamicDuration("hot-sites")
 		v.mutate(&cfg)
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", v.label, err)
-		}
+		jobs = append(jobs, Job{Label: "variant/" + v.label, Config: cfg})
+	}
+	results, err := runAblationJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Ablation A6 (§1.1): paper protocol vs neighbor-only placement + closest routing (hot-sites)",
+		Headers: []string{"protocol", "bw equilibrium (B·hops/s)", "latency eq (s)", "max load settled", "timeouts", "avg replicas"},
+	}
+	for i, v := range variants {
+		res := results[i].Results
 		t.AddRow(v.label,
 			report.F(res.BandwidthStats.Equilibrium, 0),
 			report.F(res.LatencyStats.Equilibrium, 3),
@@ -214,18 +252,24 @@ func AblationBulkOffload(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	caps := []int{0, 1}
+	jobs := make([]Job, 0, len(caps))
+	for _, cap := range caps {
+		cfg := baseConfig(gens["hot-sites"], opts, false)
+		cfg.Duration = opts.dynamicDuration("hot-sites")
+		cfg.Protocol.MaxOffloadPerRun = cap
+		jobs = append(jobs, Job{Label: fmt.Sprintf("offload-cap/%d", cap), Config: cfg})
+	}
+	results, err := runAblationJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{
 		Title:   "Ablation A5 (§1.2): en-masse vs one-object-per-round offloading on hot-sites",
 		Headers: []string{"offload mode", "adjustment (min)", "max load settled", "latency eq (s)", "load moves"},
 	}
-	for _, cap := range []int{0, 1} {
-		cfg := baseConfig(gens["hot-sites"], opts, false)
-		cfg.Duration = opts.dynamicDuration("hot-sites")
-		cfg.Protocol.MaxOffloadPerRun = cap
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: offload cap %d: %w", cap, err)
-		}
+	for i, cap := range caps {
+		res := results[i].Results
 		mode := "en masse (paper)"
 		if cap == 1 {
 			mode = "one per round"
@@ -240,4 +284,37 @@ func AblationBulkOffload(opts Options) (*report.Table, error) {
 			fmt.Sprint(res.Counters.LoadMigrations+res.Counters.LoadReplications))
 	}
 	return t, nil
+}
+
+// Ablation pairs an ablation's report name with its runner.
+type Ablation struct {
+	Name string
+	Run  func(Options) (*report.Table, error)
+}
+
+// Ablations lists every ablation in presentation order (A1..A8).
+var Ablations = []Ablation{
+	{"A1 distribution policies", AblationDistribution},
+	{"A2 full replication", AblationFullReplication},
+	{"A3 distribution constant", AblationConstant},
+	{"A4 thresholds", AblationThresholds},
+	{"A5 bulk offload", AblationBulkOffload},
+	{"A6 neighbor-only", AblationNeighborOnly},
+	{"A7 oracle", AblationOracle},
+	{"A8 redirectors", AblationRedirectors},
+}
+
+// RunAblations executes every registered ablation and returns the tables
+// in registry order. Ablations run one after another, but each fans its
+// own sweep points out on the parallel engine.
+func RunAblations(opts Options) ([]*report.Table, error) {
+	tables := make([]*report.Table, 0, len(Ablations))
+	for _, ab := range Ablations {
+		tbl, err := ab.Run(opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", ab.Name, err)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
 }

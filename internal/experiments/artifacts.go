@@ -105,6 +105,27 @@ func (s *Suite) Table2() *report.Table {
 	return t
 }
 
+// Timing reports each run's wall-clock cost as measured by the parallel
+// engine. Unlike the other artifacts this table is not deterministic
+// (wall times vary run to run), so RenderAll excludes it; callers that
+// want it render it explicitly.
+func (s *Suite) Timing() *report.Table {
+	t := &report.Table{
+		Title:   "Run wall-clock (parallel engine)",
+		Headers: []string{"run", "wall"},
+	}
+	var total time.Duration
+	for _, rt := range s.Timings {
+		t.AddRow(rt.Label, rt.Wall.Round(time.Millisecond).String())
+		total += rt.Wall
+	}
+	// Concurrent runs include time spent waiting for each other's CPU
+	// timeslices, so this sum exceeds both the batch wall-clock and the
+	// true CPU time whenever parallelism > 1.
+	t.AddRow("sum of runs", total.Round(time.Millisecond).String())
+	return t
+}
+
 // RenderAll writes every artifact of the suite to w.
 func (s *Suite) RenderAll(w io.Writer) error {
 	tables := []*report.Table{s.Figure6(), s.Figure7(), s.Figure8a(), s.Figure8b(), s.Table2()}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"radar/internal/sim"
+)
+
+// This file implements the unified parallel experiment engine. The
+// paper's evaluation is reproduced by running many independent
+// single-threaded simulations — workloads x seeds x ablation points — so
+// the harness fans them out over a bounded worker pool. Every batch
+// entry point in this package (RunSuite, RunMultiSeed, RunAblations,
+// Sweep) funnels through Engine.Run.
+//
+// Concurrency safety rests on each sim.Config being self-contained: a
+// simulation derives every RNG stream from its own Seed and builds its
+// own topology, routing table, hosts and collectors in sim.New. The
+// workload generators built by Generators are immutable after
+// construction (their Next methods only read), so sharing one generator
+// across concurrent jobs is safe. Configs that carry *stateful* shared
+// components — a trace.Recording/trace.Replay generator, a
+// consistency.Manager, or an ExtraObserver — must not appear in more
+// than one job of a batch; give each job its own instance.
+
+// Job is one labeled simulation in an engine batch.
+type Job struct {
+	// Label identifies the job in errors and timing reports.
+	Label string
+	// Config is the full simulation configuration. It must not share
+	// mutable components (stateful generators, consistency managers,
+	// observers) with any other job in the same batch.
+	Config sim.Config
+}
+
+// JobResult pairs a job with its outcome. Results are always returned in
+// input order regardless of completion order.
+type JobResult struct {
+	Label   string
+	Results *sim.Results
+	// Err is the job's failure, nil on success. Jobs abandoned by a
+	// fail-fast cancellation or a canceled context carry an error
+	// wrapping context.Canceled.
+	Err error
+	// Wall is the job's wall-clock execution time (zero for jobs that
+	// never ran).
+	Wall time.Duration
+}
+
+// Engine executes batches of independent simulations on a bounded worker
+// pool. The zero value is ready to use: GOMAXPROCS workers, collect-all
+// error mode.
+type Engine struct {
+	// Parallelism bounds how many simulations run concurrently; <= 0
+	// selects GOMAXPROCS. Each simulation is single-threaded, so
+	// GOMAXPROCS workers saturate the machine.
+	Parallelism int
+	// FailFast stops dispatching new jobs after the first failure and
+	// makes Run return that failure. When false (collect-all), every job
+	// runs and errors are reported per JobResult only.
+	FailFast bool
+}
+
+// Run executes jobs and returns one JobResult per job, in input order.
+// Identical job lists produce identical Results regardless of
+// Parallelism: per-run determinism comes from each config's Seed, and
+// the pool never shares state between jobs.
+//
+// Under FailFast the first error (lowest input index) is returned and
+// not-yet-started jobs are abandoned with a cancellation error; jobs
+// already in flight run to completion. Canceling ctx abandons
+// not-yet-started jobs the same way and makes Run return ctx's error.
+// In collect-all mode Run's error is nil unless ctx was canceled;
+// inspect per-job Errs (see FirstError).
+func (e Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := e.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(jobs) {
+		p = len(jobs)
+	}
+	out := make([]JobResult, len(jobs))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.runJob(runCtx, jobs[i])
+				if out[i].Err != nil && e.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if e.FailFast {
+		return out, FirstError(out)
+	}
+	return out, nil
+}
+
+// runJob executes one job, timing it. A job whose context is already
+// canceled is abandoned without running.
+func (e Engine) runJob(ctx context.Context, j Job) JobResult {
+	select {
+	case <-ctx.Done():
+		return JobResult{Label: j.Label, Err: fmt.Errorf("experiments: job %q abandoned: %w", j.Label, context.Canceled)}
+	default:
+	}
+	start := time.Now()
+	res, err := runOne(j.Config)
+	if err != nil {
+		err = fmt.Errorf("experiments: job %q: %w", j.Label, err)
+	}
+	return JobResult{Label: j.Label, Results: res, Err: err, Wall: time.Since(start)}
+}
+
+// FirstError returns the first real failure in input order, skipping
+// cancellation-abandoned jobs so the error that triggered a fail-fast
+// stop is reported rather than its fallout. It returns nil if every job
+// succeeded or was merely abandoned.
+func FirstError(results []JobResult) error {
+	var abandoned error
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		if errors.Is(r.Err, context.Canceled) {
+			if abandoned == nil {
+				abandoned = r.Err
+			}
+			continue
+		}
+		return r.Err
+	}
+	return abandoned
+}

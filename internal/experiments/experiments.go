@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,10 +28,31 @@ type Options struct {
 	// finishes in tens of seconds (for benchmarks and CI); the full-scale
 	// runs reproduce Table 1 exactly.
 	Quick bool
+	// Parallelism bounds how many simulations run concurrently in
+	// RunSuite, RunMultiSeed and the ablations; <= 0 selects GOMAXPROCS.
+	// Results are bit-identical at every parallelism level.
+	Parallelism int
+	// over shrinks runs far below Quick scale; tests use it to exercise
+	// the whole suite pipeline in seconds.
+	over *scaleOverride
+}
+
+// scaleOverride is the test-only scale knob (see Options.over).
+type scaleOverride struct {
+	Objects         int
+	Dynamic, Static time.Duration
+}
+
+// engine returns the fail-fast engine the batch entry points share.
+func (o Options) engine() Engine {
+	return Engine{Parallelism: o.Parallelism, FailFast: true}
 }
 
 // universe returns the object universe for the scale.
 func (o Options) universe() object.Universe {
+	if o.over != nil {
+		return object.Universe{Count: o.over.Objects, SizeBytes: 12 << 10}
+	}
 	if o.Quick {
 		return object.Universe{Count: 2000, SizeBytes: 12 << 10}
 	}
@@ -40,6 +62,9 @@ func (o Options) universe() object.Universe {
 // dynamicDuration is the simulated span for dynamic runs; hot-sites needs
 // longer to fully drain its initial backlog.
 func (o Options) dynamicDuration(workloadName string) time.Duration {
+	if o.over != nil {
+		return o.over.Dynamic
+	}
 	base := 40 * time.Minute
 	if workloadName == "hot-sites" {
 		base = 55 * time.Minute
@@ -53,6 +78,9 @@ func (o Options) dynamicDuration(workloadName string) time.Duration {
 // staticDuration is the simulated span for static baseline runs; static
 // placement reaches steady state immediately.
 func (o Options) staticDuration() time.Duration {
+	if o.over != nil {
+		return o.over.Static
+	}
 	if o.Quick {
 		return 5 * time.Minute
 	}
@@ -122,6 +150,16 @@ func (wr *WorkloadRun) LatencyReduction() float64 {
 type Suite struct {
 	Runs     map[string]*WorkloadRun
 	HighLoad bool
+	// Timings records each run's wall-clock, in job order (static and
+	// dynamic per workload). Wall times vary run to run, so the timing
+	// table is rendered separately from the deterministic artifacts.
+	Timings []RunTiming
+}
+
+// RunTiming is one run's wall-clock cost.
+type RunTiming struct {
+	Label string
+	Wall  time.Duration
 }
 
 // baseConfig builds the Table 1 configuration for one run.
@@ -153,45 +191,78 @@ func trackedHotSite(u object.Universe, topo *topology.Topology, seed int64) topo
 	return 0
 }
 
-// RunSuite executes the four paper workloads (dynamic plus static
-// baselines) at the given load level and returns the shared results.
-// highLoad selects the Figure 9 watermarks (50/40) instead of Table 1's
-// (90/80).
-func RunSuite(opts Options, highLoad bool) (*Suite, error) {
+// suiteJobs builds the suite's job list: a static baseline and a dynamic
+// run per workload, two jobs per workload in WorkloadNames order. The
+// generators built here are immutable after construction, so sharing one
+// between a workload's static and dynamic jobs is concurrency-safe.
+func suiteJobs(opts Options, highLoad bool) ([]Job, error) {
 	topo := topology.UUNET()
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	suite := &Suite{Runs: make(map[string]*WorkloadRun), HighLoad: highLoad}
 	tracked := trackedHotSite(u, topo, opts.Seed)
+	jobs := make([]Job, 0, 2*len(WorkloadNames))
 	for _, name := range WorkloadNames {
 		gen := gens[name]
 
 		staticCfg := baseConfig(gen, opts, highLoad)
 		staticCfg.DynamicPlacement = false
 		staticCfg.Duration = opts.staticDuration()
-		staticRes, err := runOne(staticCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: static %s: %w", name, err)
-		}
+		jobs = append(jobs, Job{Label: "static/" + name, Config: staticCfg})
 
 		dynCfg := baseConfig(gen, opts, highLoad)
 		dynCfg.Duration = opts.dynamicDuration(name)
 		if name == "hot-sites" {
 			dynCfg.TrackedHost = tracked
 		}
-		dynRes, err := runOne(dynCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: dynamic %s: %w", name, err)
-		}
-		suite.Runs[name] = &WorkloadRun{Name: name, Dynamic: dynRes, Static: staticRes}
+		jobs = append(jobs, Job{Label: "dynamic/" + name, Config: dynCfg})
+	}
+	return jobs, nil
+}
+
+// suiteFromResults assembles a Suite from suiteJobs results (two per
+// workload, in WorkloadNames order).
+func suiteFromResults(results []JobResult, highLoad bool) (*Suite, error) {
+	if len(results) != 2*len(WorkloadNames) {
+		return nil, fmt.Errorf("experiments: suite expects %d results, got %d", 2*len(WorkloadNames), len(results))
+	}
+	suite := &Suite{Runs: make(map[string]*WorkloadRun), HighLoad: highLoad}
+	for i, name := range WorkloadNames {
+		static, dyn := results[2*i], results[2*i+1]
+		suite.Runs[name] = &WorkloadRun{Name: name, Dynamic: dyn.Results, Static: static.Results}
+	}
+	for _, r := range results {
+		suite.Timings = append(suite.Timings, RunTiming{Label: r.Label, Wall: r.Wall})
 	}
 	// Hot-sites static saturates forever; substitute the hot-pages static
 	// level as its baseline (identical access pattern, §6.2).
 	suite.Runs["hot-sites"].Static = suite.Runs["hot-pages"].Static
 	return suite, nil
+}
+
+// RunSuite executes the four paper workloads (dynamic plus static
+// baselines) at the given load level and returns the shared results.
+// highLoad selects the Figure 9 watermarks (50/40) instead of Table 1's
+// (90/80). The eight runs execute concurrently on the engine's worker
+// pool; results are identical to a sequential execution.
+func RunSuite(opts Options, highLoad bool) (*Suite, error) {
+	return RunSuiteContext(context.Background(), opts, highLoad)
+}
+
+// RunSuiteContext is RunSuite with cancellation: canceling ctx abandons
+// runs that have not started and returns ctx's error.
+func RunSuiteContext(ctx context.Context, opts Options, highLoad bool) (*Suite, error) {
+	jobs, err := suiteJobs(opts, highLoad)
+	if err != nil {
+		return nil, err
+	}
+	results, err := opts.engine().Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return suiteFromResults(results, highLoad)
 }
 
 func runOne(cfg sim.Config) (*sim.Results, error) {

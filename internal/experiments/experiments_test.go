@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"radar/internal/topology"
 )
@@ -56,7 +57,8 @@ func TestRunSuiteQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick suite takes ~1 minute")
 	}
-	suite, err := RunSuite(Options{Seed: 3, Quick: true}, false)
+	opts := Options{Seed: 3, Quick: true, over: raceOver()}
+	suite, err := RunSuite(opts, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,6 +66,9 @@ func TestRunSuiteQuick(t *testing.T) {
 		r := suite.Runs[name]
 		if r == nil {
 			t.Fatalf("missing run %q", name)
+		}
+		if opts.over != nil {
+			continue // race runs cover concurrency, not settled physics
 		}
 		if red := r.BandwidthReduction(); red < 20 {
 			t.Errorf("%s: bandwidth reduction %.1f%%, want >= 20%% (paper: 60-90%%)", name, red)
@@ -86,22 +91,24 @@ func TestRunSuiteQuick(t *testing.T) {
 			t.Errorf("%s: avg replicas %.2f outside plausible range", name, r.Dynamic.AvgReplicas)
 		}
 	}
-	// Regional must be the biggest bandwidth winner (locality).
-	regional := suite.Runs["regional"].BandwidthReduction()
-	for _, name := range []string{"zipf", "hot-pages"} {
-		if suite.Runs[name].BandwidthReduction() >= regional {
-			t.Errorf("regional reduction %.1f%% should exceed %s's %.1f%%",
-				regional, name, suite.Runs[name].BandwidthReduction())
+	if opts.over == nil {
+		// Regional must be the biggest bandwidth winner (locality).
+		regional := suite.Runs["regional"].BandwidthReduction()
+		for _, name := range []string{"zipf", "hot-pages"} {
+			if suite.Runs[name].BandwidthReduction() >= regional {
+				t.Errorf("regional reduction %.1f%% should exceed %s's %.1f%%",
+					regional, name, suite.Runs[name].BandwidthReduction())
+			}
 		}
-	}
-	// Hot-sites and hot-pages share an access pattern, so their dynamic
-	// equilibria converge to the same level (paper §6.2). Quick-scale
-	// runs end before both fully settle; require same order of magnitude
-	// here and verify the tight match in the full-scale experiments.
-	hs := suite.Runs["hot-sites"].Dynamic.BandwidthStats.Equilibrium
-	hp := suite.Runs["hot-pages"].Dynamic.BandwidthStats.Equilibrium
-	if ratio := hs / hp; ratio < 0.3 || ratio > 3 {
-		t.Errorf("hot-sites eq %.3g vs hot-pages eq %.3g: want same order", hs, hp)
+		// Hot-sites and hot-pages share an access pattern, so their dynamic
+		// equilibria converge to the same level (paper §6.2). Quick-scale
+		// runs end before both fully settle; require same order of magnitude
+		// here and verify the tight match in the full-scale experiments.
+		hs := suite.Runs["hot-sites"].Dynamic.BandwidthStats.Equilibrium
+		hp := suite.Runs["hot-pages"].Dynamic.BandwidthStats.Equilibrium
+		if ratio := hs / hp; ratio < 0.3 || ratio > 3 {
+			t.Errorf("hot-sites eq %.3g vs hot-pages eq %.3g: want same order", hs, hp)
+		}
 	}
 
 	var b strings.Builder
@@ -125,7 +132,11 @@ func TestRunSuiteQuick(t *testing.T) {
 			t.Errorf("missing CSV %s: %v", f, err)
 			continue
 		}
-		if len(data) < 100 {
+		minBytes := 100
+		if opts.over != nil {
+			minBytes = 20 // tiny race-mode runs produce only a few buckets
+		}
+		if len(data) < minBytes {
 			t.Errorf("CSV %s suspiciously small (%d bytes)", f, len(data))
 		}
 	}
@@ -135,7 +146,7 @@ func TestAblationFullReplicationQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration run")
 	}
-	tbl, err := AblationFullReplication(Options{Seed: 3, Quick: true})
+	tbl, err := AblationFullReplication(Options{Seed: 3, Quick: true, over: raceOver()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +167,7 @@ func TestMultiSeedAggregation(t *testing.T) {
 		t.Skip("multi-seed integration run")
 	}
 	// Two seeds at tiny scale: verify aggregation plumbing, not physics.
-	base := Options{Quick: true}
+	base := Options{Quick: true, over: &scaleOverride{Objects: 300, Dynamic: 2 * time.Minute, Static: time.Minute}}
 	ms, err := RunMultiSeed(base, []int64{1, 2}, false)
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +198,7 @@ func TestAblationOracleQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration run")
 	}
-	tbl, err := AblationOracle(Options{Seed: 3, Quick: true})
+	tbl, err := AblationOracle(Options{Seed: 3, Quick: true, over: raceOver()})
 	if err != nil {
 		t.Fatal(err)
 	}

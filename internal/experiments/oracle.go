@@ -24,20 +24,30 @@ func AblationOracle(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &report.Table{
-		Title:   "Ablation A7 (§1.1 future work): autonomous protocol vs offline greedy oracle (same replica budget)",
-		Headers: []string{"workload", "placement", "bw equilibrium (B·hops/s)", "latency eq (s)", "replicas/object"},
-	}
-	for _, name := range []string{"zipf", "regional"} {
-		gen := gens[name]
-		dyn := baseConfig(gen, opts, false)
-		dyn.Duration = opts.dynamicDuration(name)
-		dynRes, err := runOne(dyn)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: dynamic %s: %w", name, err)
-		}
+	names := []string{"zipf", "regional"}
 
-		demand, err := oracle.EstimateDemand(gen, topo, u, dyn.NodeRequestRPS, 20000, opts.Seed)
+	// Stage 1: the autonomous protocol runs, fanned out together. The
+	// oracle's replica budget depends on their outcomes, so the static
+	// oracle evaluations form a second batch.
+	dynJobs := make([]Job, 0, len(names))
+	for _, name := range names {
+		dyn := baseConfig(gens[name], opts, false)
+		dyn.Duration = opts.dynamicDuration(name)
+		dynJobs = append(dynJobs, Job{Label: "dynamic/" + name, Config: dyn})
+	}
+	dynResults, err := runAblationJobs(opts, dynJobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: offline greedy placements with the protocol's budget,
+	// evaluated as static runs under identical demand.
+	placements := make([][][]topology.NodeID, len(names))
+	oracleJobs := make([]Job, 0, len(names))
+	for i, name := range names {
+		gen := gens[name]
+		dynRes := dynResults[i].Results
+		demand, err := oracle.EstimateDemand(gen, topo, u, dynJobs[i].Config.NodeRequestRPS, 20000, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -49,15 +59,25 @@ func AblationOracle(opts Options) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		placements[i] = placement
 		oracleCfg := baseConfig(gen, opts, false)
 		oracleCfg.Duration = opts.staticDuration()
 		oracleCfg.DynamicPlacement = false
 		oracleCfg.InitialPlacement = placement
-		oracleRes, err := runOne(oracleCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: oracle %s: %w", name, err)
-		}
+		oracleJobs = append(oracleJobs, Job{Label: "oracle/" + name, Config: oracleCfg})
+	}
+	oracleResults, err := runAblationJobs(opts, oracleJobs)
+	if err != nil {
+		return nil, err
+	}
 
+	t := &report.Table{
+		Title:   "Ablation A7 (§1.1 future work): autonomous protocol vs offline greedy oracle (same replica budget)",
+		Headers: []string{"workload", "placement", "bw equilibrium (B·hops/s)", "latency eq (s)", "replicas/object"},
+	}
+	for i, name := range names {
+		dynRes := dynResults[i].Results
+		oracleRes := oracleResults[i].Results
 		t.AddRow(name, "protocol (autonomous)",
 			report.F(dynRes.BandwidthStats.Equilibrium, 0),
 			report.F(dynRes.LatencyStats.Equilibrium, 3),
@@ -65,7 +85,7 @@ func AblationOracle(opts Options) (*report.Table, error) {
 		t.AddRow(name, "oracle (offline greedy)",
 			report.F(oracleRes.BandwidthStats.Equilibrium, 0),
 			report.F(oracleRes.LatencyStats.Equilibrium, 3),
-			report.F(float64(oracle.TotalReplicas(placement))/float64(u.Count), 2))
+			report.F(float64(oracle.TotalReplicas(placements[i]))/float64(u.Count), 2))
 	}
 	return t, nil
 }
@@ -80,34 +100,37 @@ func AblationRedirectors(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &report.Table{
-		Title:   "Ablation A8 (§6.1 future work): redirector count sweep (zipf)",
-		Headers: []string{"redirectors", "latency eq (s)", "bw equilibrium (B·hops/s)", "avg replicas"},
-	}
-	for _, k := range []int{1, 2, 4, 8} {
+	counts := []int{1, 2, 4, 8}
+	jobs := make([]Job, 0, len(counts)+1)
+	labels := make([]string, 0, len(counts)+1)
+	for _, k := range counts {
 		cfg := baseConfig(gens["zipf"], opts, false)
 		cfg.Duration = opts.dynamicDuration("zipf")
 		cfg.NumRedirectors = k
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %d redirectors: %w", k, err)
-		}
-		t.AddRow(fmt.Sprint(k),
-			report.F(res.LatencyStats.Equilibrium, 3),
-			report.F(res.BandwidthStats.Equilibrium, 0),
-			report.F(res.AvgReplicas, 2))
+		jobs = append(jobs, Job{Label: fmt.Sprintf("redirectors/%d", k), Config: cfg})
+		labels = append(labels, fmt.Sprint(k))
 	}
 	// Per-object placement: each object's redirector at its home node.
 	cfg := baseConfig(gens["zipf"], opts, false)
 	cfg.Duration = opts.dynamicDuration("zipf")
 	cfg.RedirectorAtHome = true
-	res, err := runOne(cfg)
+	jobs = append(jobs, Job{Label: "redirectors/per-object", Config: cfg})
+	labels = append(labels, "per-object (home node)")
+
+	results, err := runAblationJobs(opts, jobs)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: per-object redirectors: %w", err)
+		return nil, err
 	}
-	t.AddRow("per-object (home node)",
-		report.F(res.LatencyStats.Equilibrium, 3),
-		report.F(res.BandwidthStats.Equilibrium, 0),
-		report.F(res.AvgReplicas, 2))
+	t := &report.Table{
+		Title:   "Ablation A8 (§6.1 future work): redirector count sweep (zipf)",
+		Headers: []string{"redirectors", "latency eq (s)", "bw equilibrium (B·hops/s)", "avg replicas"},
+	}
+	for i, label := range labels {
+		res := results[i].Results
+		t.AddRow(label,
+			report.F(res.LatencyStats.Equilibrium, 3),
+			report.F(res.BandwidthStats.Equilibrium, 0),
+			report.F(res.AvgReplicas, 2))
+	}
 	return t, nil
 }

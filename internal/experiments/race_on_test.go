@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// integration tests shrink their simulation scale under -race (see
+// raceOver) because the detector multiplies simulation cost several-fold.
+const raceEnabled = true

@@ -1,8 +1,8 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"time"
 
 	"radar/internal/sim"
 )
@@ -20,32 +20,24 @@ type SweepResult struct {
 	Label   string
 	Results *sim.Results
 	Err     error
+	// Wall is the point's wall-clock execution time.
+	Wall time.Duration
 }
 
 // Sweep runs every point, up to parallelism simulations concurrently
 // (each simulation is single-threaded and independent; parallelism <= 0
-// selects GOMAXPROCS). Results are returned in input order.
+// selects GOMAXPROCS). Results are returned in input order. Sweep is the
+// collect-all facade over the parallel engine: every point runs even
+// when some fail, and per-point errors are reported in the results.
 func Sweep(points []SweepPoint, parallelism int) []SweepResult {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(points) {
-		parallelism = len(points)
-	}
-	out := make([]SweepResult, len(points))
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
+	jobs := make([]Job, len(points))
 	for i, p := range points {
-		i, p := i, p
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := runOne(p.Config)
-			out[i] = SweepResult{Label: p.Label, Results: res, Err: err}
-		}()
+		jobs[i] = Job{Label: p.Label, Config: p.Config}
 	}
-	wg.Wait()
+	results, _ := Engine{Parallelism: parallelism}.Run(context.Background(), jobs)
+	out := make([]SweepResult, len(results))
+	for i, r := range results {
+		out[i] = SweepResult{Label: r.Label, Results: r.Results, Err: r.Err, Wall: r.Wall}
+	}
 	return out
 }

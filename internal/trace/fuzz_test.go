@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadRequests: request-log parsing must never panic on malformed
+// input, and any input it accepts must survive a write/read round trip
+// unchanged.
+func FuzzReadRequests(f *testing.F) {
+	f.Add([]byte("3,17\n0,2\n"))
+	f.Add([]byte("  12 , 9  \n\n5,5"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("1,2,3\n"))
+	f.Add([]byte(",\n"))
+	f.Add([]byte("9007199254740993,-1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadRequests(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := WriteRequests(&buf, log); err != nil {
+			t.Fatalf("WriteRequests on parsed log: %v", err)
+		}
+		again, err := ReadRequests(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing written log: %v", err)
+		}
+		if len(log) == 0 && len(again) == 0 {
+			return // DeepEqual distinguishes nil from empty; both mean no requests
+		}
+		if !reflect.DeepEqual(log, again) {
+			t.Fatalf("round trip changed the log:\n%v\nvs\n%v", log, again)
+		}
+	})
+}

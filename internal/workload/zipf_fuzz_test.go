@@ -1,0 +1,61 @@
+package workload
+
+import "testing"
+
+// FuzzZipfReedsRank: for any universe size and seed, the Reeds
+// approximation must return ranks in [1, n] (clamping degenerate n to 1)
+// and do so deterministically for a fixed (seed, stream) pair.
+func FuzzZipfReedsRank(f *testing.F) {
+	f.Add(int64(1), uint16(10000))
+	f.Add(int64(-7), uint16(1))
+	f.Add(int64(0), uint16(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16) {
+		n := int(nRaw)
+		z := NewZipfReeds(n)
+		if n < 1 {
+			n = 1
+		}
+		rng := Stream(seed, 3)
+		rng2 := Stream(seed, 3)
+		for i := 0; i < 64; i++ {
+			r := z.Rank(rng)
+			if r < 1 || r > n {
+				t.Fatalf("rank %d out of [1, %d] (seed %d, draw %d)", r, n, seed, i)
+			}
+			if r2 := z.Rank(rng2); r2 != r {
+				t.Fatalf("same stream diverged: draw %d gave %d then %d", i, r, r2)
+			}
+		}
+	})
+}
+
+// FuzzZipfExactCDF: the exact sampler's CDF must be monotone
+// nondecreasing, end at exactly 1, and inverse-CDF draws must stay in
+// [1, n].
+func FuzzZipfExactCDF(f *testing.F) {
+	f.Add(uint16(1), int64(1))
+	f.Add(uint16(997), int64(42))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed int64) {
+		n := int(nRaw)%2048 + 1 // keep CDF construction cheap
+		z := NewZipfExact(n)
+		if len(z.cdf) != n {
+			t.Fatalf("cdf has %d entries, want %d", len(z.cdf), n)
+		}
+		prev := 0.0
+		for i, c := range z.cdf {
+			if c < prev {
+				t.Fatalf("cdf decreases at rank %d: %v < %v", i+1, c, prev)
+			}
+			prev = c
+		}
+		if z.cdf[n-1] != 1 {
+			t.Fatalf("cdf ends at %v, want exactly 1", z.cdf[n-1])
+		}
+		rng := Stream(seed, 5)
+		for i := 0; i < 64; i++ {
+			if r := z.Rank(rng); r < 1 || r > n {
+				t.Fatalf("exact rank %d out of [1, %d]", r, n)
+			}
+		}
+	})
+}

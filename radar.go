@@ -19,11 +19,13 @@
 package radar
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"radar/internal/consistency"
+	"radar/internal/experiments"
 	"radar/internal/metrics"
 	"radar/internal/object"
 	"radar/internal/protocol"
@@ -224,6 +226,42 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("radar: post-run invariant check failed: %w", res.InvariantsError)
 	}
 	return convert(res), nil
+}
+
+// RunSeeds executes cfg once per seed, up to parallelism simulations
+// concurrently (<= 0 selects GOMAXPROCS), and returns one Result per
+// seed in seed order. Each run gets its own independently built
+// generators and consistency state, so runs are race-free and each
+// Result is bit-identical to Run with that seed. TraceWriter cannot be
+// used with more than one seed: concurrent runs would interleave their
+// event streams.
+func RunSeeds(cfg Config, seeds []int64, parallelism int) ([]*Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("radar: no seeds")
+	}
+	if cfg.TraceWriter != nil && len(seeds) > 1 {
+		return nil, fmt.Errorf("radar: a trace writer cannot be shared across %d concurrent runs", len(seeds))
+	}
+	jobs := make([]experiments.Job, len(seeds))
+	for i, seed := range seeds {
+		seedCfg := cfg
+		seedCfg.Seed = seed
+		simCfg, err := buildSimConfig(seedCfg)
+		if err != nil {
+			return nil, fmt.Errorf("radar: seed %d: %w", seed, err)
+		}
+		jobs[i] = experiments.Job{Label: fmt.Sprintf("seed/%d", seed), Config: *simCfg}
+	}
+	eng := experiments.Engine{Parallelism: parallelism, FailFast: true}
+	results, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(results))
+	for i, r := range results {
+		out[i] = convert(r.Results)
+	}
+	return out, nil
 }
 
 func buildSimConfig(cfg Config) (*sim.Config, error) {
