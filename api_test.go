@@ -1,0 +1,180 @@
+// External tests for the facade's error contract and context entry
+// points: sentinel errors must match through errors.Is from outside the
+// package, and cancellation must interrupt long runs promptly.
+package radar_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"radar"
+)
+
+// quickCfg returns a fast, scaled-down configuration.
+func quickCfg(w radar.Workload) radar.Config {
+	cfg := radar.DefaultConfig(w)
+	cfg.Objects = 1000
+	cfg.Duration = 4 * time.Minute
+	return cfg
+}
+
+func TestSentinelErrorsMatchable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*radar.Config)
+		want   error
+	}{
+		{"unknown workload", func(c *radar.Config) { c.Workload = "no-such-workload" }, radar.ErrUnknownWorkload},
+		{"unknown switch target", func(c *radar.Config) { c.SwitchTo = "no-such-workload" }, radar.ErrUnknownWorkload},
+		{"unknown policy", func(c *radar.Config) { c.Policy = "no-such-policy" }, radar.ErrUnknownPolicy},
+		{"unknown consistency", func(c *radar.Config) { c.Consistency = "no-such-regime" }, radar.ErrUnknownConsistency},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := quickCfg(radar.Zipf)
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, tc.want) {
+				t.Errorf("Validate() = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+			if _, err := radar.Run(cfg); !errors.Is(err, tc.want) {
+				t.Errorf("Run() = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateZeroValueConfig(t *testing.T) {
+	var cfg radar.Config
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("zero-value Config validated")
+	}
+	if !errors.Is(err, radar.ErrUnknownWorkload) {
+		t.Errorf("Validate() = %v, want errors.Is(err, ErrUnknownWorkload)", err)
+	}
+	if _, err := radar.Run(cfg); !errors.Is(err, radar.ErrUnknownWorkload) {
+		t.Errorf("Run() = %v, want errors.Is(err, ErrUnknownWorkload)", err)
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, w := range []radar.Workload{radar.Zipf, radar.HotSites, radar.HotPages, radar.Regional, radar.Uniform} {
+		if err := radar.DefaultConfig(w).Validate(); err != nil {
+			t.Errorf("DefaultConfig(%q).Validate() = %v", w, err)
+		}
+	}
+}
+
+func TestRunSeedsNoSeeds(t *testing.T) {
+	if _, err := radar.RunSeeds(quickCfg(radar.Uniform), nil, 0); !errors.Is(err, radar.ErrNoSeeds) {
+		t.Errorf("RunSeeds(nil seeds) = %v, want errors.Is(err, ErrNoSeeds)", err)
+	}
+	if _, err := radar.RunSeeds(quickCfg(radar.Uniform), []int64{}, 0); !errors.Is(err, radar.ErrNoSeeds) {
+		t.Errorf("RunSeeds(empty seeds) = %v, want errors.Is(err, ErrNoSeeds)", err)
+	}
+}
+
+func TestRunSeedsSharedTraceWriter(t *testing.T) {
+	cfg := quickCfg(radar.Uniform)
+	cfg.TraceWriter = &strings.Builder{}
+	_, err := radar.RunSeeds(cfg, []int64{1, 2}, 2)
+	if !errors.Is(err, radar.ErrTraceWriterShared) {
+		t.Errorf("RunSeeds(2 seeds, shared writer) = %v, want errors.Is(err, ErrTraceWriterShared)", err)
+	}
+	// A single seed does not share the writer, so it is allowed.
+	cfg.Duration = 2 * time.Minute
+	if _, err := radar.RunSeeds(cfg, []int64{1}, 1); err != nil {
+		t.Errorf("RunSeeds(1 seed, writer) = %v, want success", err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// Full-scale 40-minute-horizon run: seconds of wall time if allowed
+	// to finish. Cancel shortly after it starts and require it to return
+	// well under a second later.
+	cfg := radar.DefaultConfig(radar.Zipf)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		res, err := radar.RunContext(ctx, cfg)
+		if res != nil {
+			err = errors.New("canceled run returned results")
+		}
+		done <- err
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want errors.Is(err, context.Canceled)", err)
+		}
+		if wait := time.Since(start); wait > time.Second {
+			t.Errorf("cancellation took %v, want well under a second", wait)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancellation")
+	}
+}
+
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := radar.RunContext(ctx, quickCfg(radar.Uniform))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext(canceled ctx) = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("canceled run returned results")
+	}
+}
+
+func TestRunSeedsContextCancellation(t *testing.T) {
+	cfg := radar.DefaultConfig(radar.Zipf) // 40-minute horizon per seed
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := radar.RunSeedsContext(ctx, cfg, []int64{1, 2, 3, 4}, 2)
+		done <- err
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunSeedsContext = %v, want errors.Is(err, context.Canceled)", err)
+		}
+		if wait := time.Since(start); wait > 2*time.Second {
+			t.Errorf("cancellation took %v, want prompt return", wait)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunSeedsContext did not return after cancellation")
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := quickCfg(radar.Uniform)
+	cfg.Duration = 2 * time.Minute
+	a, err := radar.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := radar.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Errorf("RunContext diverged from Run:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+}

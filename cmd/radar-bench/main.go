@@ -1,0 +1,152 @@
+// Command radar-bench measures the library's end-to-end hot path — one
+// full default-scale Zipf run (Table 1 parameters, 40 simulated
+// minutes, ~5 million requests) — and writes the result, together with
+// the recorded pre-optimization baseline and the reduction percentages,
+// to a JSON artifact (BENCH_run.json by default):
+//
+//	go run ./cmd/radar-bench -o BENCH_run.json
+//
+// Wall time is the best of -runs attempts (allocation counts are
+// deterministic across runs; wall time is not). EXPERIMENTS.md
+// documents how to regenerate and interpret the artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"radar"
+)
+
+// Pre-optimization baseline, measured at commit e306ca4 (before the
+// pooled event queue, flattened routing tables and dense per-object
+// state) with this same command's methodology on the default Zipf run.
+const (
+	baselineCommit = "e306ca4"
+	baselineWallNS = int64(13_017_516_293)
+	baselineAllocs = int64(27_315_823)
+	baselineBytes  = int64(1_007_280_232)
+)
+
+// measurement is one run's cost.
+type measurement struct {
+	Commit string `json:"commit,omitempty"`
+	WallNS int64  `json:"wall_ns"`
+	Wall   string `json:"wall"`
+	Allocs int64  `json:"allocs"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// artifact is the BENCH_run.json schema.
+type artifact struct {
+	GeneratedBy string `json:"generated_by"`
+	Workload    string `json:"workload"`
+	Objects     int    `json:"objects"`
+	Duration    string `json:"simulated_duration"`
+	Seed        int64  `json:"seed"`
+	Runs        int    `json:"runs"`
+	TotalServed int64  `json:"total_served"`
+
+	Baseline measurement `json:"baseline"`
+	Current  measurement `json:"current"`
+
+	WallReductionPct   float64 `json:"wall_reduction_pct"`
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+	BytesReductionPct  float64 `json:"bytes_reduction_pct"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_run.json", "output path for the JSON artifact")
+	runs := flag.Int("runs", 3, "attempts; wall time is the best, allocations the last")
+	flag.Parse()
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	cfg := radar.DefaultConfig(radar.Zipf)
+	var (
+		bestWall time.Duration
+		allocs   int64
+		bytes    int64
+		served   int64
+	)
+	for i := 0; i < *runs; i++ {
+		wall, a, by, res, err := measureOnce(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "radar-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run %d/%d: %v, %d allocs, %d B\n", i+1, *runs, wall.Round(time.Millisecond), a, by)
+		if bestWall == 0 || wall < bestWall {
+			bestWall = wall
+		}
+		allocs, bytes, served = a, by, res.Summary.TotalServed
+	}
+
+	art := artifact{
+		GeneratedBy: "go run ./cmd/radar-bench",
+		Workload:    string(cfg.Workload),
+		Objects:     cfg.Objects,
+		Duration:    cfg.Duration.String(),
+		Seed:        cfg.Seed,
+		Runs:        *runs,
+		TotalServed: served,
+		Baseline: measurement{
+			Commit: baselineCommit,
+			WallNS: baselineWallNS,
+			Wall:   time.Duration(baselineWallNS).Round(time.Millisecond).String(),
+			Allocs: baselineAllocs,
+			Bytes:  baselineBytes,
+		},
+		Current: measurement{
+			WallNS: int64(bestWall),
+			Wall:   bestWall.Round(time.Millisecond).String(),
+			Allocs: allocs,
+			Bytes:  bytes,
+		},
+		WallReductionPct:   reduction(baselineWallNS, int64(bestWall)),
+		AllocsReductionPct: reduction(baselineAllocs, allocs),
+		BytesReductionPct:  reduction(baselineBytes, bytes),
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radar-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "radar-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: wall %s (-%.1f%%), allocs %d (-%.1f%%), bytes %d (-%.1f%%)\n",
+		*out, art.Current.Wall, art.WallReductionPct, allocs, art.AllocsReductionPct, bytes, art.BytesReductionPct)
+}
+
+// measureOnce executes one run and returns its wall time and the
+// process's allocation delta across it.
+func measureOnce(cfg radar.Config) (time.Duration, int64, int64, *radar.Result, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := radar.Run(cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return wall, int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc), res, nil
+}
+
+// reduction returns the percentage drop from base to cur.
+func reduction(base, cur int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-cur) / float64(base)
+}

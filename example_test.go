@@ -1,0 +1,89 @@
+package radar_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"radar"
+)
+
+// ExampleRun runs one scaled-down simulation under uniform demand and
+// inspects the headline numbers. Drop the Objects/Duration overrides to
+// run at the paper's Table 1 scale.
+func ExampleRun() {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.Objects = 500
+	cfg.Duration = 2 * time.Minute
+
+	res, err := radar.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("served requests:", res.Summary.TotalServed > 0)
+	fmt.Println("bandwidth series recorded:", len(res.Bandwidth) > 0)
+	// Output:
+	// served requests: true
+	// bandwidth series recorded: true
+}
+
+// ExampleRunContext shows cancellable execution: a caller-supplied
+// deadline or cancel interrupts a long simulation promptly.
+func ExampleRunContext() {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.Objects = 500
+	cfg.Duration = 2 * time.Minute
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := radar.RunContext(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("completed before deadline:", res.Summary.TotalServed > 0)
+	// Output:
+	// completed before deadline: true
+}
+
+// ExampleRunSeeds averages a metric over independent seeds; the runs
+// execute concurrently and return in seed order.
+func ExampleRunSeeds() {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.Objects = 500
+	cfg.Duration = 2 * time.Minute
+
+	results, err := radar.RunSeeds(cfg, []int64{1, 2, 3}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Summary.BandwidthEquilibrium
+	}
+	fmt.Println("runs:", len(results))
+	fmt.Println("mean equilibrium positive:", sum/float64(len(results)) > 0)
+	// Output:
+	// runs: 3
+	// mean equilibrium positive: true
+}
+
+// ExampleResult_WriteSummary renders a run's summary table.
+func ExampleResult_WriteSummary() {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.Objects = 500
+	cfg.Duration = 2 * time.Minute
+
+	res, err := radar.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteSummary(&b); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mentions bandwidth equilibrium:", strings.Contains(b.String(), "bandwidth equilibrium"))
+	// Output:
+	// mentions bandwidth equilibrium: true
+}

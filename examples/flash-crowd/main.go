@@ -9,28 +9,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"radar"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "flash-crowd:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	cfg := radar.DefaultConfig(radar.Zipf)
 	cfg.Objects = 2000
 	cfg.Duration = 50 * time.Minute
 	cfg.SwitchTo = radar.HotSites
 	cfg.SwitchAt = 15 * time.Minute
 
-	res, err := radar.Run(cfg)
+	res, err := radar.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -13,21 +13,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"radar"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// The paper-scale runs take about a minute of wall time; Ctrl-C
+	// cancels them promptly through the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "hotspot-relief:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// Full paper scale: the cold-start hot spots take tens of simulated
 	// minutes to dissolve, so this example simulates a 55-minute run
 	// (about a minute of wall time).
@@ -37,12 +43,12 @@ func run() error {
 	static := base
 	static.Static = true
 	static.Duration = 10 * time.Minute // saturation is visible immediately
-	staticRes, err := radar.Run(static)
+	staticRes, err := radar.RunContext(ctx, static)
 	if err != nil {
 		return err
 	}
 
-	dynRes, err := radar.Run(base)
+	dynRes, err := radar.RunContext(ctx, base)
 	if err != nil {
 		return err
 	}

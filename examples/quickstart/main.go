@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"radar"
@@ -19,7 +21,12 @@ func main() {
 	cfg.Objects = 2000
 	cfg.Duration = 15 * time.Minute
 
-	res, err := radar.Run(cfg)
+	// Ctrl-C interrupts the simulation promptly instead of waiting the
+	// run out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := radar.RunContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)

@@ -8,21 +8,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"radar"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "regional-cdn:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	cfg := radar.DefaultConfig(radar.Regional)
 	cfg.Objects = 2000
 	cfg.Duration = 30 * time.Minute
@@ -30,11 +34,11 @@ func run() error {
 	static := cfg
 	static.Static = true
 	static.Duration = 8 * time.Minute
-	staticRes, err := radar.Run(static)
+	staticRes, err := radar.RunContext(ctx, static)
 	if err != nil {
 		return err
 	}
-	dynRes, err := radar.Run(cfg)
+	dynRes, err := radar.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

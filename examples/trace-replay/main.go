@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"radar/internal/object"
@@ -18,13 +20,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "trace-replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	u := object.Universe{Count: 2000, SizeBytes: 12 << 10}
 
 	// Pass 1: run a Zipf workload and record every request it draws.
@@ -40,7 +44,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	first, err := s.Run()
+	first, err := s.RunContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -82,7 +86,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	second, err := s2.Run()
+	second, err := s2.RunContext(ctx)
 	if err != nil {
 		return err
 	}

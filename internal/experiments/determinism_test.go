@@ -45,7 +45,7 @@ func runSerial(t *testing.T, jobs []Job) []*sim.Results {
 	t.Helper()
 	out := make([]*sim.Results, len(jobs))
 	for i, j := range jobs {
-		res, err := runOne(j.Config)
+		res, err := runOne(context.Background(), j.Config)
 		if err != nil {
 			t.Fatalf("serial run %q: %v", j.Label, err)
 		}

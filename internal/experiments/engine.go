@@ -73,10 +73,11 @@ type Engine struct {
 //
 // Under FailFast the first error (lowest input index) is returned and
 // not-yet-started jobs are abandoned with a cancellation error; jobs
-// already in flight run to completion. Canceling ctx abandons
-// not-yet-started jobs the same way and makes Run return ctx's error.
-// In collect-all mode Run's error is nil unless ctx was canceled;
-// inspect per-job Errs (see FirstError).
+// already in flight are interrupted promptly (the simulation engine polls
+// cancellation every few thousand events) and report a cancellation
+// error. Canceling ctx abandons and interrupts jobs the same way and
+// makes Run return ctx's error. In collect-all mode Run's error is nil
+// unless ctx was canceled; inspect per-job Errs (see FirstError).
 func (e Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -121,8 +122,9 @@ func (e Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	return out, nil
 }
 
-// runJob executes one job, timing it. A job whose context is already
-// canceled is abandoned without running.
+// runJob executes one job under ctx, timing it. A job whose context is
+// already canceled is abandoned without running; one canceled mid-run is
+// interrupted and reports the cancellation.
 func (e Engine) runJob(ctx context.Context, j Job) JobResult {
 	select {
 	case <-ctx.Done():
@@ -130,7 +132,7 @@ func (e Engine) runJob(ctx context.Context, j Job) JobResult {
 	default:
 	}
 	start := time.Now()
-	res, err := runOne(j.Config)
+	res, err := runOne(ctx, j.Config)
 	if err != nil {
 		err = fmt.Errorf("experiments: job %q: %w", j.Label, err)
 	}

@@ -265,12 +265,12 @@ func RunSuiteContext(ctx context.Context, opts Options, highLoad bool) (*Suite, 
 	return suiteFromResults(results, highLoad)
 }
 
-func runOne(cfg sim.Config) (*sim.Results, error) {
+func runOne(ctx context.Context, cfg sim.Config) (*sim.Results, error) {
 	s, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run()
+	res, err := s.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -69,7 +70,7 @@ func TestSweepDefaultParallelism(t *testing.T) {
 
 func TestSweepMatchesSequentialRun(t *testing.T) {
 	cfg := tinyConfig(t, 9)
-	seq, err := runOne(cfg)
+	seq, err := runOne(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,6 +45,12 @@ type HostLoadSample struct {
 
 // Collector accumulates run statistics. It implements simnet.Recorder and
 // protocol.Observer. The zero value is not usable; call New.
+//
+// Bucketed series live in parallel slices (histograms stored by value in
+// one contiguous block); Reserve preallocates them for a known horizon so
+// the steady-state recording path never grows a slice, and consecutive
+// samples landing in the same bucket — the overwhelmingly common case —
+// resolve through a cached bucket index without a division.
 type Collector struct {
 	bucket time.Duration
 
@@ -52,7 +58,12 @@ type Collector struct {
 	overheadBH []float64
 	latencySum []float64 // seconds
 	latencyCnt []int64
-	latencyH   []*latencyHist
+	latencyH   []latencyHist
+
+	// Cached bucket of the most recent sample: now in [curStart,
+	// curStart+bucket) resolves to curIdx without division.
+	curIdx   int
+	curStart time.Duration
 
 	maxLoad   []Point
 	hostLoads []HostLoadSample
@@ -66,21 +77,43 @@ func New(bucket time.Duration) (*Collector, error) {
 	if bucket <= 0 {
 		return nil, fmt.Errorf("metrics: bucket %v must be positive", bucket)
 	}
-	return &Collector{bucket: bucket}, nil
+	return &Collector{bucket: bucket, curIdx: -1}, nil
 }
 
 // Bucket returns the series bucket width.
 func (c *Collector) Bucket() time.Duration { return c.bucket }
 
+// Reserve preallocates bucketed storage to cover horizon (plus slack for
+// deliveries completing just past it), so recording never reallocates
+// mid-run. Calling it is optional and purely a performance hint.
+func (c *Collector) Reserve(horizon time.Duration) {
+	n := int(horizon/c.bucket) + 2
+	if n <= cap(c.payloadBH) {
+		return
+	}
+	c.payloadBH = append(make([]float64, 0, n), c.payloadBH...)
+	c.overheadBH = append(make([]float64, 0, n), c.overheadBH...)
+	c.latencySum = append(make([]float64, 0, n), c.latencySum...)
+	c.latencyCnt = append(make([]int64, 0, n), c.latencyCnt...)
+	c.latencyH = append(make([]latencyHist, 0, n), c.latencyH...)
+}
+
 func (c *Collector) idx(now time.Duration) int {
+	if c.curIdx >= 0 {
+		if off := now - c.curStart; off >= 0 && off < c.bucket {
+			return c.curIdx
+		}
+	}
 	i := int(now / c.bucket)
 	for len(c.payloadBH) <= i {
 		c.payloadBH = append(c.payloadBH, 0)
 		c.overheadBH = append(c.overheadBH, 0)
 		c.latencySum = append(c.latencySum, 0)
 		c.latencyCnt = append(c.latencyCnt, 0)
-		c.latencyH = append(c.latencyH, &latencyHist{})
+		c.latencyH = append(c.latencyH, latencyHist{})
 	}
+	c.curIdx = i
+	c.curStart = time.Duration(i) * c.bucket
 	return i
 }
 

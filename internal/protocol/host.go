@@ -79,6 +79,10 @@ type Host struct {
 
 	offloading    bool
 	lastPlacement time.Duration
+	// candBuf is the reusable candidate scratch buffer for the placement
+	// pass; its contents are only valid within one candidatesByDistanceDesc
+	// call chain.
+	candBuf []topology.NodeID
 
 	// Stats accumulates protocol activity counters for reports.
 	Stats HostStats
@@ -128,6 +132,7 @@ func NewHost(id topology.NodeID, params Params, env Env, loads LoadSource) (*Hos
 		loads:    loads,
 		objects:  make(map[object.ID]*ObjectState),
 		numNodes: env.Routes.NumNodes(),
+		candBuf:  make([]topology.NodeID, 0, env.Routes.NumNodes()),
 	}, nil
 }
 
@@ -295,7 +300,7 @@ func (h *Host) DecidePlacement(now time.Duration) PlacementSummary {
 // heuristic: place replicas on the farthest qualified candidate first).
 // Under the NeighborOnly baseline only direct neighbors qualify.
 func (h *Host) candidatesByDistanceDesc(st *ObjectState) []topology.NodeID {
-	cands := st.candidates(h.ID)
+	cands := st.candidates(h.ID, h.candBuf)
 	if h.params.NeighborOnly {
 		kept := cands[:0]
 		for _, p := range cands {

@@ -59,6 +59,7 @@ func (r Replica) unitRcnt() float64 { return float64(r.Rcnt) / float64(r.Aff) }
 type redirEntry struct {
 	replicas []Replica // sorted by Host for deterministic iteration
 	cursor   int       // round-robin position (baseline policy)
+	known    bool      // a replica was ever recorded (survives PurgeHost)
 }
 
 // Redirector implements the request distribution side of the protocol: it
@@ -68,6 +69,10 @@ type redirEntry struct {
 // are spread over the platform with the URL namespace hash-partitioned
 // among them; Location records the node this redirector is co-located
 // with, so the simulator can charge forwarding latency.
+//
+// Object IDs are dense small integers, so per-object state lives in a
+// slice indexed by ID rather than a map: the per-request lookup is a
+// bounds check and an indexed load.
 type Redirector struct {
 	// Location is the node the redirector runs on.
 	Location topology.NodeID
@@ -75,7 +80,7 @@ type Redirector struct {
 	routes  *routing.Table
 	policy  Policy
 	cRatio  float64
-	entries map[object.ID]*redirEntry
+	entries []redirEntry // indexed by object.ID, grown on demand
 
 	// chooseCount counts ChooseReplica calls, for reports.
 	chooseCount int64
@@ -104,15 +109,42 @@ func NewRedirector(location topology.NodeID, routes *routing.Table, policy Polic
 		routes:   routes,
 		policy:   policy,
 		cRatio:   distConstant,
-		entries:  make(map[object.ID]*redirEntry),
 	}, nil
+}
+
+// lookup returns the entry for id, or nil if none was ever recorded.
+func (r *Redirector) lookup(id object.ID) *redirEntry {
+	if int(id) >= len(r.entries) || int(id) < 0 {
+		return nil
+	}
+	e := &r.entries[id]
+	if !e.known {
+		return nil
+	}
+	return e
+}
+
+// entry returns the entry for id, growing the index geometrically as
+// needed (IDs arrive in ascending order during seeding; per-ID growth
+// would be quadratic).
+func (r *Redirector) entry(id object.ID) *redirEntry {
+	if int(id) >= len(r.entries) {
+		if int(id) < cap(r.entries) {
+			r.entries = r.entries[:int(id)+1]
+		} else {
+			grown := make([]redirEntry, int(id)+1, max(2*cap(r.entries), int(id)+1))
+			copy(grown, r.entries)
+			r.entries = grown
+		}
+	}
+	return &r.entries[id]
 }
 
 // ChooseReplica picks the host to service a request for id that entered
 // the platform at gateway g, and charges the chosen replica's request
 // count. This is the algorithm of Fig. 2 (under PolicyPaper).
 func (r *Redirector) ChooseReplica(g topology.NodeID, id object.ID) (topology.NodeID, error) {
-	e := r.entries[id]
+	e := r.lookup(id)
 	if e == nil || len(e.replicas) == 0 {
 		return 0, fmt.Errorf("%w: object %d", ErrUnknownObject, id)
 	}
@@ -128,10 +160,24 @@ func (r *Redirector) ChooseReplica(g topology.NodeID, id object.ID) (topology.No
 		rep.Rcnt++
 		return rep.Host, nil
 	default:
-		closest := e.closestTo(g, r.routes)
-		least := e.leastUnitRcnt()
+		// One pass finds both the closest replica (distance ties broken by
+		// the sorted-by-host order) and the least-loaded one (strictly
+		// smaller unit request count wins, so ties also break by host).
+		dist := r.routes.DistancesFrom(g)
+		closest, least := &e.replicas[0], &e.replicas[0]
+		bestD := dist[closest.Host]
+		leastU := least.unitRcnt()
+		for i := 1; i < len(e.replicas); i++ {
+			rep := &e.replicas[i]
+			if d := dist[rep.Host]; d < bestD {
+				closest, bestD = rep, d
+			}
+			if u := rep.unitRcnt(); u < leastU {
+				least, leastU = rep, u
+			}
+		}
 		chosen := closest
-		if closest.unitRcnt() > r.cRatio*least.unitRcnt() {
+		if closest.unitRcnt() > r.cRatio*leastU {
 			chosen = least
 		}
 		chosen.Rcnt++
@@ -142,23 +188,12 @@ func (r *Redirector) ChooseReplica(g topology.NodeID, id object.ID) (topology.No
 // closestTo returns the replica closest to gateway g, breaking distance
 // ties by smaller host ID.
 func (e *redirEntry) closestTo(g topology.NodeID, routes *routing.Table) *Replica {
+	dist := routes.DistancesFrom(g)
 	best := &e.replicas[0]
-	bestD := routes.Distance(g, best.Host)
+	bestD := dist[best.Host]
 	for i := 1; i < len(e.replicas); i++ {
-		if d := routes.Distance(g, e.replicas[i].Host); d < bestD {
+		if d := dist[e.replicas[i].Host]; d < bestD {
 			best, bestD = &e.replicas[i], d
-		}
-	}
-	return best
-}
-
-// leastUnitRcnt returns the replica with the smallest unit request count,
-// breaking ties by smaller host ID.
-func (e *redirEntry) leastUnitRcnt() *Replica {
-	best := &e.replicas[0]
-	for i := 1; i < len(e.replicas); i++ {
-		if e.replicas[i].unitRcnt() < best.unitRcnt() {
-			best = &e.replicas[i]
 		}
 	}
 	return best
@@ -174,11 +209,8 @@ func (r *Redirector) NotifyReplicaChange(id object.ID, host topology.NodeID, aff
 	if aff < 1 {
 		aff = 1
 	}
-	e := r.entries[id]
-	if e == nil {
-		e = &redirEntry{}
-		r.entries[id] = e
-	}
+	e := r.entry(id)
+	e.known = true
 	found := false
 	for i := range e.replicas {
 		if e.replicas[i].Host == host {
@@ -207,7 +239,7 @@ func (e *redirEntry) resetCounts() {
 // immediately — deletion is notified before the fact — and the remaining
 // counts are reset.
 func (r *Redirector) RequestDrop(id object.ID, host topology.NodeID) bool {
-	e := r.entries[id]
+	e := r.lookup(id)
 	if e == nil || len(e.replicas) <= 1 {
 		return false
 	}
@@ -230,24 +262,27 @@ func (r *Redirector) RequestDrop(id object.ID, host topology.NodeID) bool {
 // availability-oriented) but exercises the same control paths.
 func (r *Redirector) PurgeHost(host topology.NodeID) []object.ID {
 	var affected []object.ID
-	for id, e := range r.entries {
-		for i := range e.replicas {
-			if e.replicas[i].Host == host {
-				e.replicas = append(e.replicas[:i], e.replicas[i+1:]...)
+	for i := range r.entries {
+		e := &r.entries[i]
+		if !e.known {
+			continue
+		}
+		for j := range e.replicas {
+			if e.replicas[j].Host == host {
+				e.replicas = append(e.replicas[:j], e.replicas[j+1:]...)
 				e.resetCounts()
-				affected = append(affected, id)
+				affected = append(affected, object.ID(i))
 				break
 			}
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	return affected
 }
 
 // Replicas returns a copy of the recorded replica set for id, sorted by
 // host ID. It returns nil for unknown objects.
 func (r *Redirector) Replicas(id object.ID) []Replica {
-	e := r.entries[id]
+	e := r.lookup(id)
 	if e == nil {
 		return nil
 	}
@@ -258,7 +293,7 @@ func (r *Redirector) Replicas(id object.ID) []Replica {
 
 // ReplicaCount returns the number of recorded replicas of id.
 func (r *Redirector) ReplicaCount(id object.ID) int {
-	e := r.entries[id]
+	e := r.lookup(id)
 	if e == nil {
 		return 0
 	}
@@ -267,7 +302,7 @@ func (r *Redirector) ReplicaCount(id object.ID) int {
 
 // TotalAffinity returns the sum of affinities over id's replicas.
 func (r *Redirector) TotalAffinity(id object.ID) int {
-	e := r.entries[id]
+	e := r.lookup(id)
 	if e == nil {
 		return 0
 	}
@@ -280,11 +315,12 @@ func (r *Redirector) TotalAffinity(id object.ID) int {
 
 // Objects returns the IDs of all objects with recorded replicas, sorted.
 func (r *Redirector) Objects() []object.ID {
-	ids := make([]object.ID, 0, len(r.entries))
-	for id := range r.entries {
-		ids = append(ids, id)
+	var ids []object.ID
+	for i := range r.entries {
+		if r.entries[i].known {
+			ids = append(ids, object.ID(i))
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

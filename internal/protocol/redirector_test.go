@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -601,5 +602,39 @@ func TestPurgeHost(t *testing.T) {
 	r.NotifyReplicaChange(object.ID(2), 2, 1)
 	if _, err := r.ChooseReplica(0, object.ID(2)); err != nil {
 		t.Fatalf("routing after recovery failed: %v", err)
+	}
+}
+
+// benchRedirector builds a redirector over the full UUNET backbone with
+// nReplicas replicas of testObj spread across the nodes.
+func benchRedirector(b *testing.B, policy Policy, nReplicas int) *Redirector {
+	b.Helper()
+	routes := routing.New(topology.UUNET())
+	r, err := NewRedirector(routes.MinAvgDistanceNode(), routes, policy, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := routes.NumNodes()
+	for i := 0; i < nReplicas; i++ {
+		r.NotifyReplicaChange(testObj, topology.NodeID((i*n)/nReplicas), 1)
+	}
+	return r
+}
+
+// BenchmarkChooseReplica measures the Fig. 2 per-request decision on the
+// UUNET backbone — the redirector's hot path, which must not allocate.
+func BenchmarkChooseReplica(b *testing.B) {
+	for _, nReplicas := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("replicas=%d", nReplicas), func(b *testing.B) {
+			r := benchRedirector(b, PolicyPaper, nReplicas)
+			n := 53 // UUNET nodes
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ChooseReplica(topology.NodeID(i%n), testObj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -55,10 +55,12 @@ func (st *ObjectState) unitAccess(self topology.NodeID, periodSec float64) float
 	return float64(st.Cnt[self]) / (float64(st.Aff) * periodSec)
 }
 
-// candidates returns all nodes with non-zero access counts other than the
-// host itself, in ascending node order; the caller reorders by distance.
-func (st *ObjectState) candidates(self topology.NodeID) []topology.NodeID {
-	var out []topology.NodeID
+// candidates appends all nodes with non-zero access counts other than the
+// host itself to buf[:0], in ascending node order; the caller reorders by
+// distance. Passing a reused buffer keeps the placement pass allocation-
+// free.
+func (st *ObjectState) candidates(self topology.NodeID, buf []topology.NodeID) []topology.NodeID {
+	out := buf[:0]
 	for p, c := range st.Cnt {
 		if c > 0 && topology.NodeID(p) != self {
 			out = append(out, topology.NodeID(p))

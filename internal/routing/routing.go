@@ -8,6 +8,12 @@
 // requests from i to j" (paper §6.1). The path from a host to a gateway is
 // the request's preference path: the sequence of hosts co-located with the
 // routers a response passes on its way out of the platform.
+//
+// All-pairs distances, next hops and materialized paths are precomputed at
+// construction into contiguous backing arrays, so every per-request lookup
+// (Distance, NextHop, Path, PreferencePath, DistancesFrom) is a bounds
+// check and an indexed load — no allocation, no pointer chasing beyond a
+// single row slice.
 package routing
 
 import (
@@ -20,14 +26,20 @@ import (
 type Table struct {
 	topo *topology.Topology
 	n    int
-	// dist[s][d] is the hop count of the chosen path s -> d.
-	dist [][]int
-	// parent[s][d] is the predecessor of d on the BFS tree rooted at s;
-	// parent[s][s] == s.
-	parent [][]topology.NodeID
-	// paths[s][d] is the node sequence s, ..., d (inclusive) of the chosen
-	// path, shared storage — callers must not mutate.
-	paths [][][]topology.NodeID
+	// dist[s*n+d] is the hop count of the chosen path s -> d, in one
+	// contiguous int32 block for cache density (the redirector scans
+	// distance rows on every request).
+	dist []int32
+	// next[s*n+d] is the first hop on the chosen path s -> d (the
+	// next-hop forwarding table a router would hold); next[s*n+s] == s.
+	next []topology.NodeID
+	// parent[s*n+d] is the predecessor of d on the BFS tree rooted at s;
+	// parent[s*n+s] == s.
+	parent []topology.NodeID
+	// paths[s*n+d] is the node sequence s, ..., d (inclusive) of the
+	// chosen path, all rows sliced out of one shared backing array —
+	// callers must not mutate.
+	paths [][]topology.NodeID
 }
 
 // New computes routes for topo. Cost is O(V·(V+E)) time and O(V²·diameter)
@@ -37,17 +49,37 @@ func New(topo *topology.Topology) *Table {
 	t := &Table{
 		topo:   topo,
 		n:      n,
-		dist:   make([][]int, n),
-		parent: make([][]topology.NodeID, n),
-		paths:  make([][][]topology.NodeID, n),
+		dist:   make([]int32, n*n),
+		next:   make([]topology.NodeID, n*n),
+		parent: make([]topology.NodeID, n*n),
+		paths:  make([][]topology.NodeID, n*n),
 	}
 	for s := 0; s < n; s++ {
-		t.dist[s], t.parent[s] = bfs(topo, topology.NodeID(s))
+		t.bfs(topology.NodeID(s))
 	}
+	// Materialize every path into one shared arena: total length is
+	// sum(dist)+n² nodes, known exactly after the BFS pass.
+	total := 0
+	for _, d := range t.dist {
+		total += int(d) + 1
+	}
+	arena := make([]topology.NodeID, 0, total)
 	for s := 0; s < n; s++ {
-		t.paths[s] = make([][]topology.NodeID, n)
 		for d := 0; d < n; d++ {
-			t.paths[s][d] = t.materialize(topology.NodeID(s), topology.NodeID(d))
+			start := len(arena)
+			arena = t.appendPath(arena, topology.NodeID(s), topology.NodeID(d))
+			t.paths[s*n+d] = arena[start:len(arena):len(arena)]
+		}
+	}
+	// The next-hop table falls out of the materialized paths.
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := t.paths[s*n+d]
+			if len(p) > 1 {
+				t.next[s*n+d] = p[1]
+			} else {
+				t.next[s*n+d] = topology.NodeID(s)
+			}
 		}
 	}
 	return t
@@ -56,21 +88,20 @@ func New(topo *topology.Topology) *Table {
 // bfs grows a breadth-first tree from src, visiting neighbors in ascending
 // ID order so that the parent of every node is the smallest-ID predecessor
 // at minimal distance discovered first — a deterministic tie-break.
-func bfs(topo *topology.Topology, src topology.NodeID) (dist []int, parent []topology.NodeID) {
-	n := topo.NumNodes()
-	dist = make([]int, n)
-	parent = make([]topology.NodeID, n)
+func (t *Table) bfs(src topology.NodeID) {
+	dist := t.dist[int(src)*t.n : (int(src)+1)*t.n]
+	parent := t.parent[int(src)*t.n : (int(src)+1)*t.n]
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
 	parent[src] = src
-	queue := make([]topology.NodeID, 0, n)
+	queue := make([]topology.NodeID, 0, t.n)
 	queue = append(queue, src)
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range topo.Neighbors(v) {
+		for _, w := range t.topo.Neighbors(v) {
 			if dist[w] == -1 {
 				dist[w] = dist[v] + 1
 				parent[w] = v
@@ -78,34 +109,55 @@ func bfs(topo *topology.Topology, src topology.NodeID) (dist []int, parent []top
 			}
 		}
 	}
-	return dist, parent
 }
 
-func (t *Table) materialize(s, d topology.NodeID) []topology.NodeID {
-	hops := t.dist[s][d]
-	path := make([]topology.NodeID, hops+1)
+// appendPath appends the chosen path s, ..., d to arena and returns it.
+func (t *Table) appendPath(arena []topology.NodeID, s, d topology.NodeID) []topology.NodeID {
+	hops := int(t.dist[int(s)*t.n+int(d)])
+	start := len(arena)
+	arena = arena[:start+hops+1]
 	v := d
+	row := t.parent[int(s)*t.n : (int(s)+1)*t.n]
 	for i := hops; i >= 0; i-- {
-		path[i] = v
-		v = t.parent[s][v]
+		arena[start+i] = v
+		v = row[v]
 	}
-	return path
+	return arena
 }
 
 // Distance returns the hop count between a and b. Unit link costs make
 // distance symmetric even though chosen paths need not be.
-func (t *Table) Distance(a, b topology.NodeID) int { return t.dist[a][b] }
+func (t *Table) Distance(a, b topology.NodeID) int {
+	return int(t.dist[int(a)*t.n+int(b)])
+}
+
+// DistancesFrom returns the distance row of s: a slice of length NumNodes
+// where element d is the hop count s -> d. The slice is shared backing
+// storage; callers must not modify it. Hot loops that compare distances to
+// many destinations should take the row once instead of calling Distance
+// per destination.
+func (t *Table) DistancesFrom(s topology.NodeID) []int32 {
+	return t.dist[int(s)*t.n : (int(s)+1)*t.n]
+}
+
+// NextHop returns the first hop on the chosen path from s toward d — the
+// forwarding table a router at s would consult. NextHop(s, s) == s.
+func (t *Table) NextHop(s, d topology.NodeID) topology.NodeID {
+	return t.next[int(s)*t.n+int(d)]
+}
 
 // Path returns the chosen path from s to d as the node sequence s, ..., d.
 // The returned slice is shared; callers must not modify it.
-func (t *Table) Path(s, d topology.NodeID) []topology.NodeID { return t.paths[s][d] }
+func (t *Table) Path(s, d topology.NodeID) []topology.NodeID {
+	return t.paths[int(s)*t.n+int(d)]
+}
 
 // PreferencePath returns the preference path of a request that entered at
 // gateway g and is serviced by host s: the hosts co-located with the
 // routers on the response route s -> g, in route order (paper §2). The
 // first element is s and the last is g.
 func (t *Table) PreferencePath(s, g topology.NodeID) []topology.NodeID {
-	return t.paths[s][g]
+	return t.paths[int(s)*t.n+int(g)]
 }
 
 // NumNodes returns the node count of the underlying topology.
@@ -117,8 +169,8 @@ func (t *Table) AvgDistance(s topology.NodeID) float64 {
 		return 0
 	}
 	total := 0
-	for d := 0; d < t.n; d++ {
-		total += t.dist[s][d]
+	for _, d := range t.DistancesFrom(s) {
+		total += int(d)
 	}
 	return float64(total) / float64(t.n-1)
 }
@@ -139,15 +191,13 @@ func (t *Table) MinAvgDistanceNode() topology.NodeID {
 
 // Diameter returns the maximum hop distance between any node pair.
 func (t *Table) Diameter() int {
-	max := 0
-	for s := 0; s < t.n; s++ {
-		for d := 0; d < t.n; d++ {
-			if t.dist[s][d] > max {
-				max = t.dist[s][d]
-			}
+	max := int32(0)
+	for _, d := range t.dist {
+		if d > max {
+			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // SortByDistanceDesc orders ids in place by decreasing distance from s,
@@ -155,7 +205,7 @@ func (t *Table) Diameter() int {
 // examines candidates "in the decreasing order of distance" (paper Fig. 3);
 // the deterministic tie-break keeps simulations reproducible.
 func (t *Table) SortByDistanceDesc(s topology.NodeID, ids []topology.NodeID) {
-	d := t.dist[s]
+	d := t.DistancesFrom(s)
 	// Insertion sort: candidate lists are short (bounded by path lengths).
 	for i := 1; i < len(ids); i++ {
 		for j := i; j > 0; j-- {
@@ -172,15 +222,18 @@ func (t *Table) SortByDistanceDesc(s topology.NodeID, ids []topology.NodeID) {
 func (t *Table) Validate() error {
 	for s := 0; s < t.n; s++ {
 		for d := 0; d < t.n; d++ {
-			if t.dist[s][d] < 0 {
+			if t.dist[s*t.n+d] < 0 {
 				return fmt.Errorf("routing: no path %d -> %d", s, d)
 			}
-			p := t.paths[s][d]
-			if len(p) != t.dist[s][d]+1 {
-				return fmt.Errorf("routing: path %d -> %d has %d nodes, want %d", s, d, len(p), t.dist[s][d]+1)
+			p := t.paths[s*t.n+d]
+			if len(p) != int(t.dist[s*t.n+d])+1 {
+				return fmt.Errorf("routing: path %d -> %d has %d nodes, want %d", s, d, len(p), t.dist[s*t.n+d]+1)
 			}
 			if p[0] != topology.NodeID(s) || p[len(p)-1] != topology.NodeID(d) {
 				return fmt.Errorf("routing: path %d -> %d has wrong endpoints", s, d)
+			}
+			if want := t.next[s*t.n+d]; len(p) > 1 && p[1] != want {
+				return fmt.Errorf("routing: next hop %d -> %d is %d, path says %d", s, d, want, p[1])
 			}
 		}
 	}

@@ -245,3 +245,38 @@ func BenchmarkPathLookup(b *testing.B) {
 		_ = tab.Path(topology.NodeID(i%n), topology.NodeID((i*7)%n))
 	}
 }
+
+// BenchmarkDistanceLookup measures the per-request distance query — a
+// single indexed load into the flattened all-pairs table.
+func BenchmarkDistanceLookup(b *testing.B) {
+	tab := New(topology.UUNET())
+	n := tab.NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Distance(topology.NodeID(i%n), topology.NodeID((i*7)%n))
+	}
+}
+
+// BenchmarkNextHopLookup measures the per-hop forwarding query.
+func BenchmarkNextHopLookup(b *testing.B) {
+	tab := New(topology.UUNET())
+	n := tab.NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.NextHop(topology.NodeID(i%n), topology.NodeID((i*7)%n))
+	}
+}
+
+// BenchmarkDistancesFrom measures the row accessor the redirector's
+// single-pass replica choice is built on.
+func BenchmarkDistancesFrom(b *testing.B) {
+	tab := New(topology.UUNET())
+	n := tab.NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.DistancesFrom(topology.NodeID(i % n))
+	}
+}

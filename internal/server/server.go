@@ -47,14 +47,19 @@ type Server struct {
 
 	busyUntil time.Duration
 
-	// Current (open) interval accumulation.
+	// Current (open) interval accumulation. Object IDs are dense small
+	// integers, so per-object counters are slices indexed by ID with a
+	// touched-list instead of maps: the per-request update is an indexed
+	// increment, and CloseInterval only walks objects actually served.
 	intervalStart time.Duration
 	served        int64
-	servedPerObj  map[object.ID]int64
+	servedPerObj  []int64     // indexed by object.ID, grown on demand
+	servedTouched []object.ID // IDs with non-zero servedPerObj entries
 
 	// Last completed interval's measurements.
 	measuredLoad float64
-	objLoad      map[object.ID]float64
+	objLoad      []float64   // indexed by object.ID, grown on demand
+	loadTouched  []object.ID // IDs with non-zero objLoad entries
 
 	// Lifetime counters.
 	totalServed int64
@@ -68,11 +73,9 @@ func New(id topology.NodeID, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return &Server{
-		ID:           id,
-		serviceTime:  time.Duration(float64(time.Second) / cfg.CapacityRPS),
-		interval:     cfg.MeasurementInterval,
-		servedPerObj: make(map[object.ID]int64),
-		objLoad:      make(map[object.ID]float64),
+		ID:          id,
+		serviceTime: time.Duration(float64(time.Second) / cfg.CapacityRPS),
+		interval:    cfg.MeasurementInterval,
 	}, nil
 }
 
@@ -97,6 +100,18 @@ func (s *Server) Enqueue(now time.Duration) time.Duration {
 func (s *Server) OnServed(now time.Duration, id object.ID) {
 	s.served++
 	s.totalServed++
+	if int(id) >= len(s.servedPerObj) {
+		if int(id) < cap(s.servedPerObj) {
+			s.servedPerObj = s.servedPerObj[:int(id)+1]
+		} else {
+			grown := make([]int64, int(id)+1, max(2*cap(s.servedPerObj), int(id)+1))
+			copy(grown, s.servedPerObj)
+			s.servedPerObj = grown
+		}
+	}
+	if s.servedPerObj[id] == 0 {
+		s.servedTouched = append(s.servedTouched, id)
+	}
 	s.servedPerObj[id]++
 	if s.queueLen > 0 {
 		s.queueLen--
@@ -116,13 +131,21 @@ func (s *Server) CloseInterval(now time.Duration) (closedStart time.Duration) {
 		return closedStart
 	}
 	s.measuredLoad = float64(s.served) / secs
-	for id := range s.objLoad {
-		delete(s.objLoad, id)
+	for _, id := range s.loadTouched {
+		s.objLoad[id] = 0
 	}
-	for id, c := range s.servedPerObj {
-		s.objLoad[id] = float64(c) / secs
-		delete(s.servedPerObj, id)
+	s.loadTouched = s.loadTouched[:0]
+	if len(s.servedPerObj) > len(s.objLoad) {
+		grown := make([]float64, len(s.servedPerObj))
+		copy(grown, s.objLoad)
+		s.objLoad = grown
 	}
+	for _, id := range s.servedTouched {
+		s.objLoad[id] = float64(s.servedPerObj[id]) / secs
+		s.servedPerObj[id] = 0
+		s.loadTouched = append(s.loadTouched, id)
+	}
+	s.servedTouched = s.servedTouched[:0]
 	s.served = 0
 	s.intervalStart = now
 	return closedStart
@@ -134,7 +157,12 @@ func (s *Server) Load() float64 { return s.measuredLoad }
 
 // ObjectLoad returns the measured load attributed to id over the last
 // completed interval. It implements protocol.LoadSource.
-func (s *Server) ObjectLoad(id object.ID) float64 { return s.objLoad[id] }
+func (s *Server) ObjectLoad(id object.ID) float64 {
+	if int(id) >= len(s.objLoad) {
+		return 0
+	}
+	return s.objLoad[id]
+}
 
 // QueueDelay returns how long a request arriving at now would wait before
 // service begins.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,6 +33,7 @@ type Simulation struct {
 
 	redirectors []*protocol.Redirector
 	rngs        []*rand.Rand // one request stream per gateway
+	reqFree     []*request   // recycled in-flight request events
 
 	droppedChoices    int64
 	timedOut          int64
@@ -63,6 +65,7 @@ func New(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	col.Reserve(cfg.Duration)
 	s.col = col
 	s.net, err = simnet.New(cfg.Net, s.topo.NumNodes(), col)
 	if err != nil {
@@ -315,6 +318,21 @@ func (o *chargingObserver) OnRefuse(now time.Duration, id object.ID, from, to to
 // Run executes the simulation for cfg.Duration of virtual time and
 // returns its results. Run must be called at most once.
 func (s *Simulation) Run() (*Results, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the engine polls ctx every few
+// thousand events (microseconds of wall time), so canceling a long run
+// returns promptly with ctx.Err() and no results. The poll does not
+// perturb the event stream — a run that is never canceled is bit-identical
+// to Run. RunContext must be called at most once.
+func (s *Simulation) RunContext(ctx context.Context) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.scheduleGenerators(); err != nil {
 		return nil, err
 	}
@@ -340,7 +358,21 @@ func (s *Simulation) Run() (*Results, error) {
 			return nil, fmt.Errorf("sim: scheduling workload switch: %w", err)
 		}
 	}
+	if done := ctx.Done(); done != nil {
+		s.engine.SetInterrupt(0, func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+		defer s.engine.SetInterrupt(0, nil)
+	}
 	s.engine.Run(s.cfg.Duration)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.results(), nil
 }
 
@@ -394,23 +426,10 @@ func (s *Simulation) dispatch(t0 time.Duration, g topology.NodeID, id object.ID)
 		return
 	}
 	t2 := s.net.ControlLatency(t1, s.routes.Distance(red.Location, h))
-	_ = s.engine.Schedule(t2, func(now time.Duration) {
-		if s.down[h] {
-			s.droppedChoices++ // chosen replica crashed in flight
-			return
-		}
-		if s.cfg.ClientTimeout > 0 && s.servers[h].QueueDelay(now) > s.cfg.ClientTimeout {
-			s.timedOut++
-			return
-		}
-		done := s.servers[h].Enqueue(now)
-		_ = s.engine.Schedule(done, func(now time.Duration) {
-			s.servers[h].OnServed(now, id)
-			s.hosts[h].OnRequest(id, g)
-			deliver := s.net.Transfer(now, s.routes.PreferencePath(h, g), int64(s.cfg.Universe.SizeBytes), simnet.Payload)
-			s.col.RecordLatency(deliver, deliver-t0)
-		})
-	})
+	r := s.newRequest()
+	*r = request{s: s, g: g, h: h, id: id, t0: t0, phase: reqArrive}
+	// Scheduling forward in time cannot fail.
+	_ = s.engine.ScheduleHandler(t2, r)
 }
 
 // scheduleMeasurement drives the periodic load measurement (paper §2.1):

@@ -4,10 +4,16 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-breaking by sequence number), which makes every
 // simulation run reproducible from its inputs alone.
+//
+// The queue is a value-based 4-ary heap: scheduling an event appends an
+// item value to a contiguous backing slice instead of allocating a heap
+// node, so the steady-state scheduling path performs zero allocations.
+// Hot callers that would otherwise allocate a closure per event can
+// implement Handler and use ScheduleHandler; a pooled Handler round-trips
+// through the queue without touching the garbage collector at all.
 package simevent
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -16,44 +22,31 @@ import (
 // Event is a unit of work scheduled to run at a virtual time.
 type Event func(now time.Duration)
 
-// item is a scheduled event inside the heap.
+// Handler is the allocation-free alternative to Event: a pre-built
+// (typically pooled) object whose Fire method runs at the scheduled time.
+// Storing a pointer-shaped Handler in the queue does not allocate, whereas
+// every closure passed to Schedule is one heap allocation.
+type Handler interface {
+	Fire(now time.Duration)
+}
+
+// item is a scheduled event inside the heap. Exactly one of fn and h is
+// set. Items are stored by value; the backing array is reused across the
+// whole run.
 type item struct {
 	at  time.Duration
 	seq uint64
 	fn  Event
+	h   Handler
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires before b: earlier timestamp, FIFO on
+// ties.
+func (a *item) before(b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	it, ok := x.(*item)
-	if !ok {
-		// heap.Push is only called through Engine.Schedule, which always
-		// pushes *item; reaching this branch is a programming error.
-		panic(fmt.Sprintf("simevent: unexpected heap element of type %T", x))
-	}
-	*h = append(*h, it)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // ErrSchedulePast reports an attempt to schedule an event before the
@@ -64,10 +57,17 @@ var ErrSchedulePast = errors.New("simevent: schedule time is in the past")
 // ready to use. Engine is not safe for concurrent use; a simulation is a
 // sequential program over virtual time.
 type Engine struct {
-	heap    eventHeap
+	heap    []item
 	now     time.Duration
 	seq     uint64
 	stopped bool
+
+	// interrupt, when non-nil, is polled every interruptEvery executed
+	// events during Run/RunAll; returning true stops the run. It exists so
+	// long simulations can observe context cancellation promptly without
+	// per-event overhead or extra events in the queue.
+	interrupt      func() bool
+	interruptEvery int
 }
 
 // New returns an Engine with its clock at zero.
@@ -79,15 +79,30 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Len returns the number of pending events.
 func (e *Engine) Len() int { return len(e.heap) }
 
+// SetInterrupt installs a poll function consulted every `every` executed
+// events during Run and RunAll; when it returns true the run stops as if
+// Stop had been called. every <= 0 selects a default of 4096. A nil f
+// removes the hook. The hook does not alter the event stream, so runs
+// with and without it produce identical results.
+func (e *Engine) SetInterrupt(every int, f func() bool) {
+	if every <= 0 {
+		every = 4096
+	}
+	e.interrupt = f
+	e.interruptEvery = every
+}
+
 // Schedule enqueues fn to run at absolute virtual time at. Scheduling at
 // the current time is allowed (the event runs after already-pending events
 // for the same instant). Scheduling in the past returns ErrSchedulePast.
+// Note fn itself is typically a closure, which the caller allocates; use
+// ScheduleHandler on paths hot enough to care.
 func (e *Engine) Schedule(at time.Duration, fn Event) error {
 	if at < e.now {
 		return fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
 	}
 	e.seq++
-	heap.Push(&e.heap, &item{at: at, seq: e.seq, fn: fn})
+	e.push(item{at: at, seq: e.seq, fn: fn})
 	return nil
 }
 
@@ -97,9 +112,77 @@ func (e *Engine) ScheduleAfter(delay time.Duration, fn Event) error {
 	return e.Schedule(e.now+delay, fn)
 }
 
+// ScheduleHandler enqueues h.Fire to run at absolute virtual time at,
+// without allocating. Ordering semantics match Schedule exactly.
+func (e *Engine) ScheduleHandler(at time.Duration, h Handler) error {
+	if at < e.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
+	}
+	e.seq++
+	e.push(item{at: at, seq: e.seq, h: h})
+	return nil
+}
+
+// ScheduleHandlerAfter enqueues h.Fire to run delay after the current
+// virtual time. A negative delay returns ErrSchedulePast.
+func (e *Engine) ScheduleHandlerAfter(delay time.Duration, h Handler) error {
+	return e.ScheduleHandler(e.now+delay, h)
+}
+
 // Stop makes the current or next Run call return once the currently
 // executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// The queue is a 4-ary min-heap ordered by (at, seq). Compared to the
+// binary container/heap it halves the tree depth, keeps children of a
+// node in one cache line's reach, and avoids both the per-node allocation
+// and the interface boxing of heap.Push/heap.Pop.
+
+func (e *Engine) push(it item) {
+	e.heap = append(e.heap, it)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.heap[i].before(&e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() item {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = item{} // release fn/h references
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(&h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}
 
 // Step executes the single earliest pending event and advances the clock
 // to its timestamp. It returns false if no events are pending.
@@ -107,33 +190,54 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	it, ok := heap.Pop(&e.heap).(*item)
-	if !ok {
-		return false
-	}
+	it := e.pop()
 	e.now = it.at
-	it.fn(e.now)
+	if it.h != nil {
+		it.h.Fire(e.now)
+	} else {
+		it.fn(e.now)
+	}
 	return true
 }
 
 // Run executes events in timestamp order until the queue is empty, Stop is
-// called, or the next event lies strictly beyond horizon. The clock never
-// advances past the last executed event; events beyond the horizon remain
-// queued so Run can be resumed with a later horizon.
+// called, the interrupt hook fires, or the next event lies strictly beyond
+// horizon. The clock never advances past the last executed event; events
+// beyond the horizon remain queued so Run can be resumed with a later
+// horizon.
 func (e *Engine) Run(horizon time.Duration) {
 	e.stopped = false
+	sinceCheck := 0
 	for !e.stopped && len(e.heap) > 0 {
 		if e.heap[0].at > horizon {
 			return
 		}
 		e.Step()
+		if e.interrupt != nil {
+			if sinceCheck++; sinceCheck >= e.interruptEvery {
+				sinceCheck = 0
+				if e.interrupt() {
+					return
+				}
+			}
+		}
 	}
 }
 
-// RunAll executes events until the queue is empty or Stop is called.
+// RunAll executes events until the queue is empty, Stop is called, or the
+// interrupt hook fires.
 func (e *Engine) RunAll() {
 	e.stopped = false
+	sinceCheck := 0
 	for !e.stopped && len(e.heap) > 0 {
 		e.Step()
+		if e.interrupt != nil {
+			if sinceCheck++; sinceCheck >= e.interruptEvery {
+				sinceCheck = 0
+				if e.interrupt() {
+					return
+				}
+			}
+		}
 	}
 }

@@ -234,3 +234,30 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	}
 	e.RunAll()
 }
+
+// benchHandler is a no-op pooled handler for the allocation benchmark.
+type benchHandler struct{ fired int }
+
+func (h *benchHandler) Fire(time.Duration) { h.fired++ }
+
+// BenchmarkScheduleHandlerAndRun measures the pooled-handler hot path:
+// unlike closure scheduling, it must not allocate per event.
+func BenchmarkScheduleHandlerAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	h := &benchHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.ScheduleHandler(e.Now()+time.Duration(rng.Intn(1000))*time.Microsecond, h); err != nil {
+			b.Fatal(err)
+		}
+		if i%4 == 3 {
+			e.Step()
+		}
+	}
+	e.RunAll()
+	if h.fired != b.N {
+		b.Fatalf("fired %d of %d events", h.fired, b.N)
+	}
+}

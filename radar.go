@@ -20,6 +20,7 @@ package radar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -84,6 +85,25 @@ const (
 	ConsistencyMixed Consistency = "mixed"
 )
 
+// Sentinel errors returned by the facade. Callers match them with
+// errors.Is; the returned errors wrap these with the offending value.
+var (
+	// ErrUnknownWorkload reports a Config.Workload (or SwitchTo) naming
+	// none of the package's workloads.
+	ErrUnknownWorkload = errors.New("radar: unknown workload")
+	// ErrUnknownPolicy reports a Config.Policy naming none of the request
+	// distribution policies.
+	ErrUnknownPolicy = errors.New("radar: unknown policy")
+	// ErrUnknownConsistency reports a Config.Consistency naming none of
+	// the §5 consistency regimes.
+	ErrUnknownConsistency = errors.New("radar: unknown consistency regime")
+	// ErrTraceWriterShared reports a RunSeeds call that would share one
+	// TraceWriter across concurrent runs, interleaving their streams.
+	ErrTraceWriterShared = errors.New("radar: trace writer cannot be shared across concurrent runs")
+	// ErrNoSeeds reports a RunSeeds call with an empty seed list.
+	ErrNoSeeds = errors.New("radar: no seeds")
+)
+
 // Config configures one simulation run. The zero value is not usable;
 // start from DefaultConfig.
 type Config struct {
@@ -138,6 +158,54 @@ func DefaultConfig(w Workload) Config {
 		Consistency:     ConsistencyNone,
 		NumRedirectors:  1,
 	}
+}
+
+// Validate reports whether the configuration names a known workload,
+// policy and consistency regime and carries usable simulation parameters.
+// Run and RunSeeds validate internally; calling Validate first lets a
+// caller separate configuration errors from execution errors. All
+// returned errors wrap the package's sentinel errors (ErrUnknownWorkload
+// and siblings) or the substrate's validation errors, so errors.Is works.
+func (c Config) Validate() error {
+	if !knownWorkload(c.Workload) {
+		return fmt.Errorf("%w: %q", ErrUnknownWorkload, c.Workload)
+	}
+	if c.SwitchTo != "" && !knownWorkload(c.SwitchTo) {
+		return fmt.Errorf("%w: switch target %q", ErrUnknownWorkload, c.SwitchTo)
+	}
+	switch c.Policy {
+	case PolicyPaper, PolicyRoundRobin, PolicyClosest, "":
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownPolicy, c.Policy)
+	}
+	switch c.Consistency {
+	case ConsistencyNone, ConsistencyMixed, "":
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownConsistency, c.Consistency)
+	}
+	u := object.Universe{Count: c.Objects, SizeBytes: c.ObjectSizeBytes}
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("radar: negative duration %v", c.Duration)
+	}
+	if c.NumRedirectors < 0 {
+		return fmt.Errorf("radar: negative redirector count %d", c.NumRedirectors)
+	}
+	if c.SwitchAt < 0 {
+		return fmt.Errorf("radar: negative switch time %v", c.SwitchAt)
+	}
+	return nil
+}
+
+// knownWorkload reports whether w names one of the package's workloads.
+func knownWorkload(w Workload) bool {
+	switch w {
+	case Zipf, HotSites, HotPages, Regional, Uniform:
+		return true
+	}
+	return false
 }
 
 // Point is one sample of a reported time series.
@@ -208,8 +276,21 @@ type Result struct {
 	raw *sim.Results
 }
 
-// Run executes one simulation and returns its results.
+// Run executes one simulation and returns its results. It is
+// RunContext with a background context.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation under ctx and returns its results.
+// The simulation engine polls ctx every few thousand events, so canceling
+// a long run returns promptly (microseconds of simulation work, not
+// virtual-time minutes) with ctx.Err(). A run that completes without
+// cancellation is bit-identical to Run.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	simCfg, err := buildSimConfig(cfg)
 	if err != nil {
 		return nil, err
@@ -218,7 +299,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run()
+	res, err := s.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -230,17 +311,28 @@ func Run(cfg Config) (*Result, error) {
 
 // RunSeeds executes cfg once per seed, up to parallelism simulations
 // concurrently (<= 0 selects GOMAXPROCS), and returns one Result per
-// seed in seed order. Each run gets its own independently built
-// generators and consistency state, so runs are race-free and each
-// Result is bit-identical to Run with that seed. TraceWriter cannot be
-// used with more than one seed: concurrent runs would interleave their
-// event streams.
+// seed in seed order. It is RunSeedsContext with a background context.
 func RunSeeds(cfg Config, seeds []int64, parallelism int) ([]*Result, error) {
+	return RunSeedsContext(context.Background(), cfg, seeds, parallelism)
+}
+
+// RunSeedsContext is RunSeeds with cancellation: canceling ctx abandons
+// queued runs, interrupts in-flight ones promptly, and returns ctx's
+// error. Each run gets its own independently built generators and
+// consistency state, so runs are race-free and each Result is
+// bit-identical to Run with that seed. An empty seed list returns
+// ErrNoSeeds; a TraceWriter with more than one seed returns
+// ErrTraceWriterShared, because concurrent runs would interleave their
+// event streams.
+func RunSeedsContext(ctx context.Context, cfg Config, seeds []int64, parallelism int) ([]*Result, error) {
 	if len(seeds) == 0 {
-		return nil, fmt.Errorf("radar: no seeds")
+		return nil, ErrNoSeeds
 	}
 	if cfg.TraceWriter != nil && len(seeds) > 1 {
-		return nil, fmt.Errorf("radar: a trace writer cannot be shared across %d concurrent runs", len(seeds))
+		return nil, fmt.Errorf("%w: %d seeds", ErrTraceWriterShared, len(seeds))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	jobs := make([]experiments.Job, len(seeds))
 	for i, seed := range seeds {
@@ -253,7 +345,7 @@ func RunSeeds(cfg Config, seeds []int64, parallelism int) ([]*Result, error) {
 		jobs[i] = experiments.Job{Label: fmt.Sprintf("seed/%d", seed), Config: *simCfg}
 	}
 	eng := experiments.Engine{Parallelism: parallelism, FailFast: true}
-	results, err := eng.Run(context.Background(), jobs)
+	results, err := eng.Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +384,7 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 	case PolicyClosest:
 		simCfg.Policy = protocol.PolicyClosest
 	default:
-		return nil, fmt.Errorf("radar: unknown policy %q", cfg.Policy)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.Policy)
 	}
 	switch cfg.Consistency {
 	case ConsistencyNone, "":
@@ -304,7 +396,7 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 		}
 		simCfg.Consistency = mgr
 	default:
-		return nil, fmt.Errorf("radar: unknown consistency regime %q", cfg.Consistency)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownConsistency, cfg.Consistency)
 	}
 	if cfg.NumRedirectors > 0 {
 		simCfg.NumRedirectors = cfg.NumRedirectors
@@ -338,7 +430,7 @@ func buildWorkload(w Workload, u object.Universe, topo *topology.Topology, seed 
 	case Uniform:
 		return workload.NewUniform(u)
 	default:
-		return nil, fmt.Errorf("radar: unknown workload %q", w)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, w)
 	}
 }
 
