@@ -48,8 +48,16 @@ func run() error {
 		traceFile    = flag.String("trace", "", "file to write a JSONL placement-event trace")
 		runs         = flag.Int("runs", 1, "number of consecutive-seed runs (run concurrently when > 1)")
 		parallelism  = flag.Int("parallelism", 0, "concurrent simulations for -runs (0 = GOMAXPROCS)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file before exit")
 	)
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg := radar.DefaultConfig(radar.Workload(*workloadName))
 	cfg.Seed = *seed

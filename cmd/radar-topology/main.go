@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"radar/internal/routing"
+	"radar/internal/substrate"
 	"radar/internal/topology"
 )
 
@@ -33,8 +34,11 @@ func run() error {
 	)
 	flag.Parse()
 
-	topo := topology.UUNET()
-	routes := routing.New(topo)
+	// The shared substrate is the same frozen topology + routing table the
+	// simulator and experiment suites use, so what this command prints is
+	// exactly what every run sees.
+	sub := substrate.UUNET()
+	topo, routes := sub.Topo, sub.Routes
 
 	if *pathSpec != "" {
 		return printPath(topo, routes, *pathSpec)
@@ -42,13 +46,15 @@ func run() error {
 	if *nodeName != "" {
 		return printNode(topo, routes, *nodeName)
 	}
-	printOverview(topo, routes)
+	printOverview(sub)
 	return nil
 }
 
-func printOverview(topo *topology.Topology, routes *routing.Table) {
+func printOverview(sub *substrate.Substrate) {
+	topo, routes := sub.Topo, sub.Routes
 	fmt.Printf("Reconstructed UUNET backbone: %d nodes, %d links, diameter %d hops\n",
 		topo.NumNodes(), topo.NumEdges(), routes.Diameter())
+	fmt.Printf("substrate fingerprint: %016x\n", sub.Fingerprint())
 	total := 0.0
 	for i := 0; i < topo.NumNodes(); i++ {
 		total += routes.AvgDistance(topology.NodeID(i))

@@ -7,7 +7,7 @@ import (
 	"radar/internal/protocol"
 	"radar/internal/report"
 	"radar/internal/sim"
-	"radar/internal/topology"
+	"radar/internal/substrate"
 )
 
 // Each ablation builds its sweep points up front, fans them out on the
@@ -28,7 +28,7 @@ func runAblationJobs(opts Options, jobs []Job) ([]JobResult, error) {
 // all requests will be sent to it anyway" (§3) — so its hot spots and
 // latency persist.
 func AblationDistribution(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {
@@ -72,7 +72,7 @@ func AblationDistribution(opts Options) (*report.Table, error) {
 // across the world — the §4 spillover harm — so full replication loses to
 // the protocol's selective placement despite infinite storage.
 func AblationFullReplication(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {
@@ -116,7 +116,7 @@ func AblationFullReplication(opts Options) (*report.Table, error) {
 // AblationConstant sweeps the request distribution constant (§6.1 names it
 // a tunable; the paper fixes 2).
 func AblationConstant(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {
@@ -152,7 +152,7 @@ func AblationConstant(opts Options) (*report.Table, error) {
 // AblationThresholds sweeps the deletion threshold u and the m/u ratio
 // (§6.1 discusses both tradeoffs; the theory requires m > 4u).
 func AblationThresholds(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {
@@ -197,7 +197,7 @@ func AblationThresholds(opts Options) (*report.Table, error) {
 // sending them back) nor create distant replicas directly, so hot spots
 // and bandwidth linger.
 func AblationNeighborOnly(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {
@@ -246,7 +246,7 @@ func AblationNeighborOnly(opts Options) (*report.Table, error) {
 // would be hopelessly slow in adjusting to demand changes"). Measured on
 // hot-sites, where offloading does the heavy lifting.
 func AblationBulkOffload(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"radar/internal/object"
 	"radar/internal/protocol"
 	"radar/internal/sim"
+	"radar/internal/substrate"
 	"radar/internal/topology"
 	"radar/internal/workload"
 )
@@ -196,7 +197,7 @@ func trackedHotSite(u object.Universe, topo *topology.Topology, seed int64) topo
 // generators built here are immutable after construction, so sharing one
 // between a workload's static and dynamic jobs is concurrency-safe.
 func suiteJobs(opts Options, highLoad bool) ([]Job, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {

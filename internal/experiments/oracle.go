@@ -5,7 +5,7 @@ import (
 
 	"radar/internal/oracle"
 	"radar/internal/report"
-	"radar/internal/routing"
+	"radar/internal/substrate"
 	"radar/internal/topology"
 )
 
@@ -17,8 +17,8 @@ import (
 // evaluated under identical demand: the oracle as a static run (its
 // placement is already demand-optimal), the protocol dynamically.
 func AblationOracle(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
-	routes := routing.New(topo)
+	sub := substrate.UUNET()
+	topo, routes := sub.Topo, sub.Routes
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {
@@ -94,7 +94,7 @@ func AblationOracle(opts Options) (*report.Table, error) {
 // (§6.1 future work: redirector placement to minimize added latency).
 // More redirectors shorten the gateway-to-redirector detour on average.
 func AblationRedirectors(opts Options) (*report.Table, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := opts.universe()
 	gens, err := Generators(u, topo, opts.Seed)
 	if err != nil {

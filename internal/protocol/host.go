@@ -491,7 +491,7 @@ func (h *Host) offload(now time.Duration, period float64) int {
 		if total == 0 {
 			continue
 		}
-		best := int64(0)
+		best := int32(0)
 		for p, c := range st.Cnt {
 			if topology.NodeID(p) != h.ID && c > best {
 				best = c

@@ -1,0 +1,148 @@
+package routing
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"radar/internal/topology"
+)
+
+// buildTopologies returns the graph shapes the parallel-build and
+// concurrency tests sweep: the canonical backbone plus degenerate and
+// tie-break-heavy synthetic shapes.
+func buildTopologies(t *testing.T) map[string]*topology.Topology {
+	t.Helper()
+	single, err := topology.New([]topology.Node{{Name: "only", Region: topology.WesternNA}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*topology.Topology{
+		"uunet":  topology.UUNET(),
+		"line5":  topology.Line(5),
+		"ring8":  topology.Ring(8),
+		"line2":  topology.Line(2),
+		"single": single,
+	}
+}
+
+// TestParallelBuildBitIdentical: newTable must produce bit-identical
+// dist/next/parent arrays and path contents for every worker count,
+// including counts far above the node count.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	for name, topo := range buildTopologies(t) {
+		serial := newTable(topo, 1)
+		for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0), 2 * topo.NumNodes(), 64} {
+			par := newTable(topo, workers)
+			if !reflect.DeepEqual(serial.dist, par.dist) {
+				t.Errorf("%s workers=%d: dist differs from serial build", name, workers)
+			}
+			if !reflect.DeepEqual(serial.next, par.next) {
+				t.Errorf("%s workers=%d: next-hop table differs from serial build", name, workers)
+			}
+			if !reflect.DeepEqual(serial.parent, par.parent) {
+				t.Errorf("%s workers=%d: parent table differs from serial build", name, workers)
+			}
+			if len(serial.paths) != len(par.paths) {
+				t.Fatalf("%s workers=%d: %d paths, want %d", name, workers, len(par.paths), len(serial.paths))
+			}
+			for i := range serial.paths {
+				if !reflect.DeepEqual(serial.paths[i], par.paths[i]) {
+					t.Errorf("%s workers=%d: path %d differs from serial build", name, workers, i)
+				}
+			}
+			if !reflect.DeepEqual(serial.avgDist, par.avgDist) ||
+				serial.minAvgNode != par.minAvgNode || serial.diameter != par.diameter {
+				t.Errorf("%s workers=%d: precomputed aggregates differ from serial build", name, workers)
+			}
+			if err := par.Validate(); err != nil {
+				t.Errorf("%s workers=%d: %v", name, workers, err)
+			}
+		}
+	}
+}
+
+// TestExportedNewMatchesSerial: the exported constructor (which picks
+// GOMAXPROCS workers on its own) must equal the pinned serial build.
+func TestExportedNewMatchesSerial(t *testing.T) {
+	topo := topology.UUNET()
+	serial, auto := newTable(topo, 1), New(topo)
+	if !reflect.DeepEqual(serial.dist, auto.dist) || !reflect.DeepEqual(serial.next, auto.next) {
+		t.Fatal("New differs from serial build")
+	}
+	for i := range serial.paths {
+		if !reflect.DeepEqual(serial.paths[i], auto.paths[i]) {
+			t.Fatalf("New path %d differs from serial build", i)
+		}
+	}
+}
+
+// TestSharedTableConcurrentReads hammers one shared Table from many
+// goroutines through every read-path accessor the simulator uses —
+// Distance, DistancesFrom, Path, PreferencePath, NextHop, AvgDistance,
+// MinAvgDistanceNode, Diameter and SortByDistanceDesc (own slice per
+// goroutine) — locking in the immutability contract the substrate cache
+// relies on. Run it with -race to detect any accessor that writes Table
+// state.
+func TestSharedTableConcurrentReads(t *testing.T) {
+	topo := topology.UUNET()
+	tab := New(topo)
+	n := tab.NumNodes()
+
+	want := make([]int, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			want[a*n+b] = tab.Distance(topology.NodeID(a), topology.NodeID(b))
+		}
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]topology.NodeID, n)
+			for iter := 0; iter < 50; iter++ {
+				s := topology.NodeID((g + iter) % n)
+				row := tab.DistancesFrom(s)
+				for d := 0; d < n; d++ {
+					if int(row[d]) != want[int(s)*n+d] {
+						t.Errorf("goroutine %d: DistancesFrom(%d)[%d] = %d, want %d", g, s, d, row[d], want[int(s)*n+d])
+						return
+					}
+					if got := tab.Distance(s, topology.NodeID(d)); got != want[int(s)*n+d] {
+						t.Errorf("goroutine %d: Distance(%d,%d) = %d, want %d", g, s, d, got, want[int(s)*n+d])
+						return
+					}
+					p := tab.Path(s, topology.NodeID(d))
+					if len(p) != want[int(s)*n+d]+1 || p[0] != s || p[len(p)-1] != topology.NodeID(d) {
+						t.Errorf("goroutine %d: Path(%d,%d) malformed", g, s, d)
+						return
+					}
+					if next := tab.NextHop(s, topology.NodeID(d)); len(p) > 1 && next != p[1] {
+						t.Errorf("goroutine %d: NextHop(%d,%d) = %d, want %d", g, s, d, next, p[1])
+						return
+					}
+				}
+				_ = tab.PreferencePath(s, topology.NodeID((int(s)+1)%n))
+				_ = tab.AvgDistance(s)
+				_ = tab.MinAvgDistanceNode()
+				_ = tab.Diameter()
+				for i := range ids {
+					ids[i] = topology.NodeID((i + iter) % n)
+				}
+				tab.SortByDistanceDesc(s, ids)
+				for i := 1; i < len(ids); i++ {
+					da, db := want[int(s)*n+int(ids[i-1])], want[int(s)*n+int(ids[i])]
+					if da < db || (da == db && ids[i-1] > ids[i]) {
+						t.Errorf("goroutine %d: SortByDistanceDesc out of order at %d", g, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -14,15 +14,33 @@
 // (Distance, NextHop, Path, PreferencePath, DistancesFrom) is a bounds
 // check and an indexed load — no allocation, no pointer chasing beyond a
 // single row slice.
+//
+// Construction fans the per-source work (BFS and path materialization)
+// across GOMAXPROCS goroutines. Each source owns disjoint rows of the
+// backing arrays and a disjoint segment of the path arena, with segment
+// offsets fixed by a serial prefix-sum over per-source totals, so the
+// resulting tables are bit-identical to a serial build regardless of
+// scheduling or worker count.
 package routing
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"radar/internal/topology"
 )
 
 // Table holds precomputed all-pairs routes for one topology.
+//
+// Immutability contract: a Table is frozen when New returns. No method —
+// including SortByDistanceDesc, which permutes only the caller's slice —
+// mutates the Table afterwards, and no state is computed lazily, so a
+// single Table may be shared freely across goroutines and concurrent
+// simulation runs without synchronization (internal/substrate relies on
+// this). Accessors that return slices (DistancesFrom, Path,
+// PreferencePath) hand out shared backing storage; callers must treat it
+// as read-only.
 type Table struct {
 	topo *topology.Topology
 	n    int
@@ -40,11 +58,25 @@ type Table struct {
 	// chosen path, all rows sliced out of one shared backing array —
 	// callers must not mutate.
 	paths [][]topology.NodeID
+
+	// Aggregates precomputed at construction so the accessors below are
+	// O(1) reads on the frozen table rather than lazy O(n²) scans.
+	avgDist    []float64 // avgDist[s] is the mean hop distance from s
+	minAvgNode topology.NodeID
+	diameter   int
 }
 
 // New computes routes for topo. Cost is O(V·(V+E)) time and O(V²·diameter)
 // memory for materialized paths — trivial at backbone scale (53 nodes).
+// The per-source work runs on up to GOMAXPROCS goroutines; the result is
+// bit-identical to a single-threaded build.
 func New(topo *topology.Topology) *Table {
+	return newTable(topo, runtime.GOMAXPROCS(0))
+}
+
+// newTable builds the table using the given worker count (tests pin it to
+// compare serial and parallel builds).
+func newTable(topo *topology.Topology, workers int) *Table {
 	n := topo.NumNodes()
 	t := &Table{
 		topo:   topo,
@@ -54,41 +86,72 @@ func New(topo *topology.Topology) *Table {
 		parent: make([]topology.NodeID, n*n),
 		paths:  make([][]topology.NodeID, n*n),
 	}
-	for s := 0; s < n; s++ {
-		t.bfs(topology.NodeID(s))
-	}
-	// Materialize every path into one shared arena: total length is
-	// sum(dist)+n² nodes, known exactly after the BFS pass.
-	total := 0
-	for _, d := range t.dist {
-		total += int(d) + 1
-	}
-	arena := make([]topology.NodeID, 0, total)
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			start := len(arena)
-			arena = t.appendPath(arena, topology.NodeID(s), topology.NodeID(d))
-			t.paths[s*n+d] = arena[start:len(arena):len(arena)]
+
+	// Phase 1: one BFS per source. Source s writes only rows s of dist
+	// and parent, so sources partition cleanly across workers.
+	forEachSource(n, workers, func(lo, hi int) {
+		queue := make([]topology.NodeID, 0, n)
+		for s := lo; s < hi; s++ {
+			t.bfs(topology.NodeID(s), queue)
 		}
-	}
-	// The next-hop table falls out of the materialized paths.
+	})
+
+	// Phase 2: materialize every path into one shared arena. Each source
+	// row occupies a contiguous segment whose offset is fixed by a serial
+	// prefix-sum over exact per-source totals (sum(dist)+n per row), so
+	// arena layout — and therefore every path slice — is independent of
+	// how sources were scheduled in either phase.
+	offsets := make([]int, n+1)
 	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			p := t.paths[s*n+d]
-			if len(p) > 1 {
-				t.next[s*n+d] = p[1]
-			} else {
-				t.next[s*n+d] = topology.NodeID(s)
-			}
+		rowTotal := n
+		for _, d := range t.dist[s*n : (s+1)*n] {
+			rowTotal += int(d)
 		}
+		offsets[s+1] = offsets[s] + rowTotal
 	}
+	arena := make([]topology.NodeID, offsets[n])
+	forEachSource(n, workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			t.materialize(topology.NodeID(s), arena, offsets[s])
+		}
+	})
+
+	t.freezeAggregates()
 	return t
+}
+
+// forEachSource invokes fn over a static partition of [0, n) across up to
+// workers goroutines. Static block partitioning keeps the call allocation-
+// free apart from the goroutines themselves; determinism does not depend
+// on the partition because every source's output is disjoint.
+func forEachSource(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // bfs grows a breadth-first tree from src, visiting neighbors in ascending
 // ID order so that the parent of every node is the smallest-ID predecessor
-// at minimal distance discovered first — a deterministic tie-break.
-func (t *Table) bfs(src topology.NodeID) {
+// at minimal distance discovered first — a deterministic tie-break. queue
+// is scratch space owned by the calling worker.
+func (t *Table) bfs(src topology.NodeID, queue []topology.NodeID) {
 	dist := t.dist[int(src)*t.n : (int(src)+1)*t.n]
 	parent := t.parent[int(src)*t.n : (int(src)+1)*t.n]
 	for i := range dist {
@@ -96,8 +159,7 @@ func (t *Table) bfs(src topology.NodeID) {
 	}
 	dist[src] = 0
 	parent[src] = src
-	queue := make([]topology.NodeID, 0, t.n)
-	queue = append(queue, src)
+	queue = append(queue[:0], src)
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
@@ -111,18 +173,54 @@ func (t *Table) bfs(src topology.NodeID) {
 	}
 }
 
-// appendPath appends the chosen path s, ..., d to arena and returns it.
-func (t *Table) appendPath(arena []topology.NodeID, s, d topology.NodeID) []topology.NodeID {
-	hops := int(t.dist[int(s)*t.n+int(d)])
-	start := len(arena)
-	arena = arena[:start+hops+1]
-	v := d
+// materialize writes source s's paths into arena starting at off, filling
+// t.paths and t.next for row s. Each path is reconstructed backwards from
+// the parent row, exactly as a serial arena build would lay it out.
+func (t *Table) materialize(s topology.NodeID, arena []topology.NodeID, off int) {
 	row := t.parent[int(s)*t.n : (int(s)+1)*t.n]
-	for i := hops; i >= 0; i-- {
-		arena[start+i] = v
-		v = row[v]
+	for d := 0; d < t.n; d++ {
+		hops := int(t.dist[int(s)*t.n+d])
+		seg := arena[off : off+hops+1 : off+hops+1]
+		v := topology.NodeID(d)
+		for i := hops; i >= 0; i-- {
+			seg[i] = v
+			v = row[v]
+		}
+		t.paths[int(s)*t.n+d] = seg
+		if hops > 0 {
+			t.next[int(s)*t.n+d] = seg[1]
+		} else {
+			t.next[int(s)*t.n+d] = s
+		}
+		off += hops + 1
 	}
-	return arena
+}
+
+// freezeAggregates precomputes the whole-table summaries (average
+// distances, min-average node, diameter) so their accessors never touch —
+// let alone lazily populate — mutable state after construction.
+func (t *Table) freezeAggregates() {
+	t.avgDist = make([]float64, t.n)
+	maxD := int32(0)
+	for s := 0; s < t.n; s++ {
+		total := 0
+		for _, d := range t.dist[s*t.n : (s+1)*t.n] {
+			total += int(d)
+			if d > maxD {
+				maxD = d
+			}
+		}
+		if t.n > 1 {
+			t.avgDist[s] = float64(total) / float64(t.n-1)
+		}
+	}
+	t.diameter = int(maxD)
+	t.minAvgNode = 0
+	for s := 1; s < t.n; s++ {
+		if t.avgDist[s] < t.avgDist[t.minAvgNode] {
+			t.minAvgNode = topology.NodeID(s)
+		}
+	}
 }
 
 // Distance returns the hop count between a and b. Unit link costs make
@@ -165,45 +263,24 @@ func (t *Table) NumNodes() int { return t.n }
 
 // AvgDistance returns the mean hop distance from s to every other node.
 func (t *Table) AvgDistance(s topology.NodeID) float64 {
-	if t.n == 1 {
-		return 0
-	}
-	total := 0
-	for _, d := range t.DistancesFrom(s) {
-		total += int(d)
-	}
-	return float64(total) / float64(t.n-1)
+	return t.avgDist[int(s)]
 }
 
 // MinAvgDistanceNode returns the node whose average hop distance to all
 // other nodes is minimal, breaking ties by smallest ID. The paper
 // co-locates the redirector with this node (§6.1).
-func (t *Table) MinAvgDistanceNode() topology.NodeID {
-	best := topology.NodeID(0)
-	bestAvg := t.AvgDistance(0)
-	for s := 1; s < t.n; s++ {
-		if avg := t.AvgDistance(topology.NodeID(s)); avg < bestAvg {
-			best, bestAvg = topology.NodeID(s), avg
-		}
-	}
-	return best
-}
+func (t *Table) MinAvgDistanceNode() topology.NodeID { return t.minAvgNode }
 
 // Diameter returns the maximum hop distance between any node pair.
-func (t *Table) Diameter() int {
-	max := int32(0)
-	for _, d := range t.dist {
-		if d > max {
-			max = d
-		}
-	}
-	return int(max)
-}
+func (t *Table) Diameter() int { return t.diameter }
 
 // SortByDistanceDesc orders ids in place by decreasing distance from s,
 // breaking ties by ascending node ID. The replica placement algorithm
 // examines candidates "in the decreasing order of distance" (paper Fig. 3);
-// the deterministic tie-break keeps simulations reproducible.
+// the deterministic tie-break keeps simulations reproducible. Only the
+// caller's slice is written; the Table itself is read-only here, so
+// concurrent calls against a shared Table are safe as long as each caller
+// passes its own slice.
 func (t *Table) SortByDistanceDesc(s topology.NodeID, ids []topology.NodeID) {
 	d := t.DistancesFrom(s)
 	// Insertion sort: candidate lists are short (bounded by path lengths).

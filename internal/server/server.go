@@ -53,7 +53,10 @@ type Server struct {
 	// increment, and CloseInterval only walks objects actually served.
 	intervalStart time.Duration
 	served        int64
-	servedPerObj  []int64     // indexed by object.ID, grown on demand
+	servedPerObj  []int32     // indexed by object.ID, grown on demand;
+	// int32 is ample for one measurement interval and keeps the dense
+	// per-object counter block cache-resident
+
 	servedTouched []object.ID // IDs with non-zero servedPerObj entries
 
 	// Last completed interval's measurements.
@@ -104,7 +107,7 @@ func (s *Server) OnServed(now time.Duration, id object.ID) {
 		if int(id) < cap(s.servedPerObj) {
 			s.servedPerObj = s.servedPerObj[:int(id)+1]
 		} else {
-			grown := make([]int64, int(id)+1, max(2*cap(s.servedPerObj), int(id)+1))
+			grown := make([]int32, int(id)+1, max(2*cap(s.servedPerObj), int(id)+1))
 			copy(grown, s.servedPerObj)
 			s.servedPerObj = grown
 		}

@@ -14,12 +14,14 @@ import (
 // (closures scheduled per event were the simulator's dominant allocation
 // source).
 type request struct {
-	s     *Simulation
-	g     topology.NodeID // gateway the request entered at
-	h     topology.NodeID // chosen replica host
-	id    object.ID
-	t0    time.Duration // entry time, for end-to-end latency
-	phase uint8
+	s      *Simulation
+	g      topology.NodeID // gateway the request entered at
+	h      topology.NodeID // chosen replica host
+	id     object.ID
+	t0     time.Duration // entry time, for end-to-end latency
+	doneAt time.Duration // reserved service completion time (reqDone phase)
+	seq    uint64        // reserved engine sequence number (reqDone phase)
+	phase  uint8
 }
 
 // Request phases.
@@ -27,6 +29,51 @@ const (
 	reqArrive uint8 = iota // UDP forward reached the chosen host
 	reqDone                // FCFS service completed
 )
+
+// reqFIFO is a ring buffer of deferred service completions for one server.
+//
+// An FCFS server's completion times are nondecreasing in admission order,
+// and completions reserve their engine sequence numbers at admission, so a
+// server's pending completions are already totally ordered by (at, seq).
+// Only the head of each FIFO therefore needs to occupy the global event
+// queue; the rest wait here. This keeps the event heap at ~one entry per
+// server instead of one per queued request (tens of thousands when servers
+// saturate), which removes most of the heap's sift cost and its backing
+// memory. Fired heads push their successor while executing, which is early
+// enough to preserve the engine's exact pop order (see
+// simevent.ScheduleHandlerReserved).
+type reqFIFO struct {
+	buf  []*request // capacity is always a power of two
+	head int
+	len  int
+}
+
+func (q *reqFIFO) push(r *request) {
+	if q.len == len(q.buf) {
+		grown := make([]*request, max(2*len(q.buf), 64))
+		for i := 0; i < q.len; i++ {
+			grown[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.len)&(len(q.buf)-1)] = r
+	q.len++
+}
+
+func (q *reqFIFO) pop() *request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.len--
+	return r
+}
+
+func (q *reqFIFO) peek() *request {
+	if q.len == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
 
 // newRequest takes a request from the pool, or allocates one.
 func (s *Simulation) newRequest() *request {
@@ -58,11 +105,27 @@ func (r *request) Fire(now time.Duration) {
 			s.releaseRequest(r)
 			return
 		}
-		done := s.servers[r.h].Enqueue(now)
+		// Reserve the completion's time and FIFO tie-break position at the
+		// exact point it used to be scheduled, but defer the actual queue
+		// insertion to the per-server FIFO (see reqFIFO).
+		r.doneAt = s.servers[r.h].Enqueue(now)
 		r.phase = reqDone
-		// Rescheduling forward in time cannot fail.
-		_ = s.engine.ScheduleHandler(done, r)
+		r.seq = s.engine.ReserveSeq()
+		q := &s.svcQueue[r.h]
+		q.push(r)
+		if q.len == 1 {
+			// Scheduling forward in time cannot fail.
+			_ = s.engine.ScheduleHandlerReserved(r.doneAt, r.seq, r)
+		}
 	case reqDone:
+		// This request is its server's stream head; promote the successor
+		// into the event queue (its completion time is >= now by FCFS
+		// monotonicity, so this cannot fail).
+		q := &s.svcQueue[r.h]
+		q.pop()
+		if next := q.peek(); next != nil {
+			_ = s.engine.ScheduleHandlerReserved(next.doneAt, next.seq, next)
+		}
 		s.servers[r.h].OnServed(now, r.id)
 		s.hosts[r.h].OnRequest(r.id, r.g)
 		deliver := s.net.Transfer(now, s.routes.PreferencePath(r.h, r.g), int64(s.cfg.Universe.SizeBytes), simnet.Payload)

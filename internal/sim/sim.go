@@ -14,6 +14,7 @@ import (
 	"radar/internal/server"
 	"radar/internal/simevent"
 	"radar/internal/simnet"
+	"radar/internal/substrate"
 	"radar/internal/topology"
 	"radar/internal/workload"
 )
@@ -34,6 +35,7 @@ type Simulation struct {
 	redirectors []*protocol.Redirector
 	rngs        []*rand.Rand // one request stream per gateway
 	reqFree     []*request   // recycled in-flight request events
+	svcQueue    []reqFIFO    // deferred FCFS completions, one FIFO per server
 
 	droppedChoices    int64
 	timedOut          int64
@@ -46,13 +48,22 @@ type Simulation struct {
 }
 
 // New builds a simulation from cfg. A nil cfg.Topo selects the
-// reconstructed UUNET backbone.
+// reconstructed UUNET backbone. The topology and routing table come from
+// the shared substrate cache (internal/substrate): every simulation over a
+// structurally identical topology — including concurrent runs in an
+// experiment suite — reads the same frozen instances instead of rebuilding
+// its own.
 func New(cfg Config) (*Simulation, error) {
+	var sub *substrate.Substrate
 	if cfg.Topo == nil {
-		cfg.Topo = topology.UUNET()
+		sub = substrate.UUNET()
+		cfg.Topo = sub.Topo
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if sub == nil {
+		sub = substrate.Shared(cfg.Topo)
 	}
 	s := &Simulation{
 		cfg:    cfg,
@@ -60,7 +71,7 @@ func New(cfg Config) (*Simulation, error) {
 		engine: simevent.New(),
 		gen:    cfg.Workload,
 	}
-	s.routes = routing.New(s.topo)
+	s.routes = sub.Routes
 	col, err := metrics.New(cfg.MetricsBucket)
 	if err != nil {
 		return nil, err
@@ -80,6 +91,7 @@ func New(cfg Config) (*Simulation, error) {
 	s.seedPlacement()
 	n := s.topo.NumNodes()
 	s.down = make([]bool, n)
+	s.svcQueue = make([]reqFIFO, n)
 	s.rngs = make([]*rand.Rand, n)
 	for i := 0; i < n; i++ {
 		s.rngs[i] = workload.Stream(cfg.Seed, uint64(i))

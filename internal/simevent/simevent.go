@@ -5,9 +5,10 @@
 // scheduled (FIFO tie-breaking by sequence number), which makes every
 // simulation run reproducible from its inputs alone.
 //
-// The queue is a value-based 4-ary heap: scheduling an event appends an
-// item value to a contiguous backing slice instead of allocating a heap
-// node, so the steady-state scheduling path performs zero allocations.
+// The queue is a value-based 4-ary heap of compact (time, seq) keys with
+// event payloads held in a recycled slot arena: scheduling an event
+// appends to contiguous backing slices instead of allocating heap nodes,
+// so the steady-state scheduling path performs zero allocations.
 // Hot callers that would otherwise allocate a closure per event can
 // implement Handler and use ScheduleHandler; a pooled Handler round-trips
 // through the queue without touching the garbage collector at all.
@@ -30,19 +31,27 @@ type Handler interface {
 	Fire(now time.Duration)
 }
 
-// item is a scheduled event inside the heap. Exactly one of fn and h is
-// set. Items are stored by value; the backing array is reused across the
-// whole run.
-type item struct {
-	at  time.Duration
-	seq uint64
-	fn  Event
-	h   Handler
+// key is a heap entry: the ordering fields plus the index of the event's
+// payload slot. Keys are 24 bytes, so sift operations move and compare
+// barely more than half the bytes a combined key+payload entry would;
+// payloads sit still in a slot arena and are looked up once per pop.
+type key struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+}
+
+// payload is the work half of a scheduled event. Exactly one of fn and h
+// is set. Slots are recycled through a LIFO freelist, so the steady-state
+// scheduling path performs zero allocations.
+type payload struct {
+	fn Event
+	h  Handler
 }
 
 // before reports whether a fires before b: earlier timestamp, FIFO on
 // ties.
-func (a *item) before(b *item) bool {
+func (a *key) before(b *key) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -57,7 +66,9 @@ var ErrSchedulePast = errors.New("simevent: schedule time is in the past")
 // ready to use. Engine is not safe for concurrent use; a simulation is a
 // sequential program over virtual time.
 type Engine struct {
-	heap    []item
+	heap    []key
+	slots   []payload
+	free    []int32
 	now     time.Duration
 	seq     uint64
 	stopped bool
@@ -102,7 +113,7 @@ func (e *Engine) Schedule(at time.Duration, fn Event) error {
 		return fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
 	}
 	e.seq++
-	e.push(item{at: at, seq: e.seq, fn: fn})
+	e.push(at, e.seq, fn, nil)
 	return nil
 }
 
@@ -119,7 +130,7 @@ func (e *Engine) ScheduleHandler(at time.Duration, h Handler) error {
 		return fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
 	}
 	e.seq++
-	e.push(item{at: at, seq: e.seq, h: h})
+	e.push(at, e.seq, nil, h)
 	return nil
 }
 
@@ -129,17 +140,57 @@ func (e *Engine) ScheduleHandlerAfter(delay time.Duration, h Handler) error {
 	return e.ScheduleHandler(e.now+delay, h)
 }
 
+// ReserveSeq allocates and returns the next scheduling sequence number
+// without enqueuing anything. Together with ScheduleHandlerReserved it
+// lets a caller fix an event's FIFO tie-break position now and insert the
+// event into the queue later, which keeps the queue small when a
+// subsystem generates long runs of events whose relative order is already
+// known (e.g. an FCFS server whose completion times are nondecreasing:
+// only the head of each server's completion stream needs to sit in the
+// queue).
+func (e *Engine) ReserveSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// ScheduleHandlerReserved enqueues h.Fire at absolute virtual time at
+// under a sequence number previously obtained from ReserveSeq. The event
+// fires exactly when it would have had ScheduleHandler been called at
+// reservation time, provided the caller inserts it before it becomes the
+// earliest pending event — i.e. before every event with a smaller
+// (at, seq) key has executed. internal/sim meets this by keeping deferred
+// events in per-server FIFOs and enqueuing each next head while the
+// previous head (whose key is strictly smaller) is firing.
+func (e *Engine) ScheduleHandlerReserved(at time.Duration, seq uint64, h Handler) error {
+	if at < e.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
+	}
+	e.push(at, seq, nil, h)
+	return nil
+}
+
 // Stop makes the current or next Run call return once the currently
 // executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// The queue is a 4-ary min-heap ordered by (at, seq). Compared to the
-// binary container/heap it halves the tree depth, keeps children of a
-// node in one cache line's reach, and avoids both the per-node allocation
-// and the interface boxing of heap.Push/heap.Pop.
+// The queue is a 4-ary min-heap of 24-byte keys ordered by (at, seq).
+// Compared to the binary container/heap it halves the tree depth, keeps
+// children of a node in one cache line's reach, and avoids both the
+// per-node allocation and the interface boxing of heap.Push/heap.Pop.
+// Event payloads live outside the heap in a slot arena, so sift swaps
+// never move function or interface values.
 
-func (e *Engine) push(it item) {
-	e.heap = append(e.heap, it)
+func (e *Engine) push(at time.Duration, seq uint64, fn Event, h Handler) {
+	var s int32
+	if n := len(e.free); n > 0 {
+		s = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slots[s] = payload{fn: fn, h: h}
+	} else {
+		s = int32(len(e.slots))
+		e.slots = append(e.slots, payload{fn: fn, h: h})
+	}
+	e.heap = append(e.heap, key{at: at, seq: seq, slot: s})
 	i := len(e.heap) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -151,12 +202,13 @@ func (e *Engine) push(it item) {
 	}
 }
 
-func (e *Engine) pop() item {
+// pop removes the earliest key and returns its timestamp and payload,
+// releasing the payload slot back to the freelist.
+func (e *Engine) pop() (time.Duration, payload) {
 	h := e.heap
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = item{} // release fn/h references
 	h = h[:n]
 	e.heap = h
 	i := 0
@@ -181,7 +233,10 @@ func (e *Engine) pop() item {
 		h[i], h[best] = h[best], h[i]
 		i = best
 	}
-	return top
+	p := e.slots[top.slot]
+	e.slots[top.slot] = payload{} // release fn/h references
+	e.free = append(e.free, top.slot)
+	return top.at, p
 }
 
 // Step executes the single earliest pending event and advances the clock
@@ -190,12 +245,12 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	it := e.pop()
-	e.now = it.at
-	if it.h != nil {
-		it.h.Fire(e.now)
+	at, p := e.pop()
+	e.now = at
+	if p.h != nil {
+		p.h.Fire(e.now)
 	} else {
-		it.fn(e.now)
+		p.fn(e.now)
 	}
 	return true
 }

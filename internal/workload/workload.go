@@ -270,11 +270,12 @@ func (w *Regional) PreferredSet(r topology.Region) []object.ID {
 
 // Mix composes generators with fixed weights, modelling the paper's remark
 // that "a real-life workload would be some mix of workloads similar to the
-// ones considered".
+// ones considered". Component selection uses a Vose alias table — O(1) per
+// draw instead of the former linear cumulative-weight walk.
 type Mix struct {
-	parts   []Generator
-	weights []float64 // cumulative, last == 1
-	name    string
+	parts []Generator
+	alias *AliasTable
+	name  string
 }
 
 // NewMix builds a weighted mixture. Weights must be positive; they are
@@ -283,22 +284,16 @@ func NewMix(parts []Generator, weights []float64) (*Mix, error) {
 	if len(parts) == 0 || len(parts) != len(weights) {
 		return nil, fmt.Errorf("workload: mix needs matching non-empty parts (%d) and weights (%d)", len(parts), len(weights))
 	}
-	total := 0.0
 	for _, w := range weights {
 		if w <= 0 {
 			return nil, fmt.Errorf("workload: mix weight %v must be positive", w)
 		}
-		total += w
 	}
-	m := &Mix{name: "mix"}
-	acc := 0.0
-	for i, p := range parts {
-		acc += weights[i] / total
-		m.parts = append(m.parts, p)
-		m.weights = append(m.weights, acc)
+	alias, err := NewAliasTable(weights)
+	if err != nil {
+		return nil, err
 	}
-	m.weights[len(m.weights)-1] = 1
-	return m, nil
+	return &Mix{name: "mix", parts: parts, alias: alias}, nil
 }
 
 // Name implements Generator.
@@ -306,13 +301,7 @@ func (w *Mix) Name() string { return w.name }
 
 // Next implements Generator.
 func (w *Mix) Next(g topology.NodeID, rng *rand.Rand) object.ID {
-	u := rng.Float64()
-	for i, cum := range w.weights {
-		if u < cum {
-			return w.parts[i].Next(g, rng)
-		}
-	}
-	return w.parts[len(w.parts)-1].Next(g, rng)
+	return w.parts[w.alias.Draw(rng)].Next(g, rng)
 }
 
 // containsID reports whether the sorted slice contains id.

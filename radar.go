@@ -32,6 +32,7 @@ import (
 	"radar/internal/protocol"
 	"radar/internal/report"
 	"radar/internal/sim"
+	"radar/internal/substrate"
 	"radar/internal/topology"
 	"radar/internal/trace"
 	"radar/internal/workload"
@@ -357,7 +358,7 @@ func RunSeedsContext(ctx context.Context, cfg Config, seeds []int64, parallelism
 }
 
 func buildSimConfig(cfg Config) (*sim.Config, error) {
-	topo := topology.UUNET()
+	topo := substrate.UUNET().Topo
 	u := object.Universe{Count: cfg.Objects, SizeBytes: cfg.ObjectSizeBytes}
 	if err := u.Validate(); err != nil {
 		return nil, err
