@@ -50,6 +50,8 @@ func run() error {
 		parallelism  = flag.Int("parallelism", 0, "concurrent simulations for -runs (0 = GOMAXPROCS)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file before exit")
+		faults       = flag.String("faults", "", `fault schedule, e.g. "crash:9@3m+5m; link:12-13@10m+2m; mtbf:20m; mttr:2m"`)
+		replicaFloor = flag.Int("replica-floor", 0, "minimum replicas kept per object (repair replication; 0/1 = paper behavior)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,8 @@ func run() error {
 	cfg.NumRedirectors = *redirectors
 	cfg.PoissonArrivals = *poisson
 	cfg.LinkContention = *contention
+	cfg.FaultSchedule = *faults
+	cfg.ReplicaFloor = *replicaFloor
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"radar/internal/fault"
+	"radar/internal/workload"
+)
+
+// TestFaultedRunsDeterministicAcrossParallelism pins the acceptance
+// criterion that a nonzero-fault run is bit-identical regardless of
+// engine parallelism: the fault timeline is expanded up front from a
+// dedicated PRNG stream, so worker scheduling cannot perturb it.
+func TestFaultedRunsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration runs")
+	}
+	makeJobs := func() []Job {
+		u := Options{Quick: true}.universe()
+		uniform, err := workload.NewUniform(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := make([]Job, 0, 3)
+		for i, mtbf := range []time.Duration{4 * time.Minute, 7 * time.Minute, 11 * time.Minute} {
+			opts := Options{Seed: int64(i + 1), Quick: true}
+			cfg := baseConfig(uniform, opts, false)
+			cfg.Duration = 8 * time.Minute
+			cfg.Protocol.ReplicaFloor = 2
+			cfg.Faults = fault.Spec{HostMTBF: mtbf, HostMTTR: time.Minute}
+			jobs = append(jobs, Job{Label: mtbf.String(), Config: cfg})
+		}
+		return jobs
+	}
+	serial, err := runAblationJobs(Options{Parallelism: 1}, makeJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runAblationJobs(Options{Parallelism: 0}, makeJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i].Results, parallel[i].Results
+		if a.Failures == 0 {
+			t.Errorf("job %d: no failures fired; the test is not exercising faults", i)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("job %d (%s): faulted results differ between parallelism 1 and GOMAXPROCS", i, serial[i].Label)
+		}
+	}
+}

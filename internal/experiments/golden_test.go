@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"radar/internal/fault"
+	"radar/internal/object"
+	"radar/internal/sim"
+	"radar/internal/substrate"
+	"radar/internal/workload"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments/ -run TestGolden -update
+//
+// Regenerate ONLY when an intentional behavior change shifts the outputs;
+// the whole point of these files is to catch unintentional shifts.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden/")
+
+// suiteGoldenHash is the FNV-64a hash of the rendered multi-seed quick
+// suite table (seeds 1-2, 16 runs), recorded before the fault-injection
+// subsystem existed. The suite configures no faults, so its output pins
+// the zero-fault bit-identity guarantee: if this hash moves, some
+// fault-path check leaked into the fault-free hot path.
+const suiteGoldenHash = "69d09600928e18d3"
+
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden", name)
+}
+
+// checkGolden compares got against the named golden file, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(t, name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run with -update after verifying the change is intentional)\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestGoldenSuiteTable pins the rendered multi-seed quick suite table
+// byte-for-byte, and its hash against the pre-fault-subsystem baseline.
+func TestGoldenSuiteTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-run suite")
+	}
+	ms, err := RunMultiSeed(Options{Seed: 1, Quick: true}, []int64{1, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ms.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	if got := fmt.Sprintf("%x", h.Sum64()); got != suiteGoldenHash {
+		t.Errorf("suite table hash %s, want %s (zero-fault output is no longer bit-identical to the baseline)", got, suiteGoldenHash)
+	}
+	checkGolden(t, "suite_table.txt", buf.Bytes())
+}
+
+// runSnapshot is the deterministic slice of a run's results the per-run
+// goldens pin. Every field is exactly reproducible for a fixed seed; wall
+// times and anything host-dependent are excluded.
+type runSnapshot struct {
+	TotalServed          int64   `json:"total_served"`
+	TimedOut             int64   `json:"timed_out"`
+	DroppedChoices       int64   `json:"dropped_choices"`
+	GeoMigrations        int64   `json:"geo_migrations"`
+	GeoReplications      int64   `json:"geo_replications"`
+	LoadMigrations       int64   `json:"load_migrations"`
+	LoadReplications     int64   `json:"load_replications"`
+	Drops                int64   `json:"drops"`
+	Refusals             int64   `json:"refusals"`
+	AvgReplicas          float64 `json:"avg_replicas"`
+	BandwidthInitial     float64 `json:"bandwidth_initial"`
+	BandwidthEquilibrium float64 `json:"bandwidth_equilibrium"`
+	LatencyEquilibrium   float64 `json:"latency_equilibrium"`
+	MaxLoadPeak          float64 `json:"max_load_peak"`
+	MaxLoadSettled       float64 `json:"max_load_settled"`
+
+	Failures           int64   `json:"failures"`
+	Recoveries         int64   `json:"recoveries"`
+	LinkFailures       int64   `json:"link_failures"`
+	LinkRecoveries     int64   `json:"link_recoveries"`
+	FailedRequests     int64   `json:"failed_requests"`
+	Outages            int64   `json:"outages"`
+	UnavailObjSecs     float64 `json:"unavailable_object_seconds"`
+	BelowFloorObjSecs  float64 `json:"below_floor_object_seconds"`
+	RepairReplications int64   `json:"repair_replications"`
+	RepairByteHops     int64   `json:"repair_byte_hops"`
+}
+
+func snapshot(res *sim.Results) runSnapshot {
+	return runSnapshot{
+		TotalServed:          res.TotalServed,
+		TimedOut:             res.TimedOutRequests,
+		DroppedChoices:       res.DroppedChoices,
+		GeoMigrations:        res.Counters.GeoMigrations,
+		GeoReplications:      res.Counters.GeoReplications,
+		LoadMigrations:       res.Counters.LoadMigrations,
+		LoadReplications:     res.Counters.LoadReplications,
+		Drops:                res.Counters.Drops,
+		Refusals:             res.Counters.Refusals,
+		AvgReplicas:          res.AvgReplicas,
+		BandwidthInitial:     res.BandwidthStats.Initial,
+		BandwidthEquilibrium: res.BandwidthStats.Equilibrium,
+		LatencyEquilibrium:   res.LatencyStats.Equilibrium,
+		MaxLoadPeak:          res.MaxLoadPeak,
+		MaxLoadSettled:       res.MaxLoadSettled,
+		Failures:             res.Failures,
+		Recoveries:           res.Recoveries,
+		LinkFailures:         res.LinkFailures,
+		LinkRecoveries:       res.LinkRecoveries,
+		FailedRequests:       res.FailedRequests,
+		Outages:              res.Outages,
+		UnavailObjSecs:       res.UnavailObjSecs,
+		BelowFloorObjSecs:    res.BelowFloorObjSecs,
+		RepairReplications:   res.Counters.RepairReplications,
+		RepairByteHops:       res.RepairByteHops,
+	}
+}
+
+// TestGoldenRunMetrics pins per-run metrics for three canonical
+// configurations: the paper's dynamic protocol, its high-load variant,
+// and a faulted run with a replica floor (the availability extension's
+// numbers are golden too — fault injection is bit-reproducible).
+func TestGoldenRunMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration runs")
+	}
+	topo := substrate.UUNET().Topo
+	u := object.Universe{Count: 2000, SizeBytes: 12 << 10}
+	gens, err := Generators(u, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := workload.NewUniform(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  func() sim.Config
+	}{
+		{"zipf_dynamic", func() sim.Config {
+			cfg := sim.DefaultConfig(gens["zipf"], 1)
+			cfg.Universe = u
+			cfg.Duration = 8 * time.Minute
+			return cfg
+		}},
+		{"hotsites_highload", func() sim.Config {
+			cfg := sim.DefaultConfig(gens["hot-sites"], 1)
+			cfg.Universe = u
+			cfg.Duration = 8 * time.Minute
+			cfg.Protocol.HighWatermark = 50
+			cfg.Protocol.LowWatermark = 40
+			return cfg
+		}},
+		{"uniform_faults", func() sim.Config {
+			cfg := sim.DefaultConfig(uniform, 1)
+			cfg.Universe = u
+			cfg.Duration = 10 * time.Minute
+			cfg.Protocol.ReplicaFloor = 2
+			cfg.Faults = fault.Spec{
+				Events: []fault.Event{
+					{Kind: fault.HostDown, At: 3 * time.Minute, Node: 9},
+					{Kind: fault.HostUp, At: 8 * time.Minute, Node: 9},
+					{Kind: fault.LinkDown, At: 4 * time.Minute, A: 12, B: 13},
+					{Kind: fault.LinkUp, At: 6 * time.Minute, A: 12, B: 13},
+				},
+			}
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s, err := sim.New(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.InvariantsError != nil {
+				t.Fatalf("invariants: %v", res.InvariantsError)
+			}
+			got, err := json.MarshalIndent(snapshot(res), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			checkGolden(t, "run_"+tc.name+".json", got)
+		})
+	}
+}

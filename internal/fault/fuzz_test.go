@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"radar/internal/topology"
+)
+
+// FuzzFaultSchedule drives the schedule parser and timeline expansion with
+// arbitrary input: parsing must never panic, and every schedule that
+// parses and validates must expand into a sorted timeline with well-formed
+// crash/recover pairs (CheckTimeline).
+func FuzzFaultSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash:7@5m+3m",
+		"crash:7@5m+3m; crash:12@10m",
+		"link:3-4@8m+90s",
+		"link:3-9@8m+90s",
+		"mtbf:20m; mttr:2m",
+		"linkmtbf:30m; linkmttr:1m",
+		"crash:0@0s+1ms; link:0-1@0s+1ms; mtbf:1m; mttr:1s; linkmtbf:1m; linkmttr:1s",
+		"crash:7@5m+3m; crash:7@6m+3m",
+		"CRASH:1@1m; LINK:2-1@2m",
+		"crash:-1@1m",
+		"mtbf:1ns; mttr:1ns",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSchedule(s)
+		if err != nil {
+			return // rejected input is fine; it just must not panic
+		}
+		const numNodes = 16
+		if err := spec.Validate(numNodes); err != nil {
+			return // e.g. node index beyond the fuzz topology
+		}
+		edges := make([][2]topology.NodeID, 0, numNodes-1)
+		for i := 0; i < numNodes-1; i++ {
+			edges = append(edges, [2]topology.NodeID{topology.NodeID(i), topology.NodeID(i + 1)})
+		}
+		tl, err := spec.Timeline(numNodes, edges, 30*time.Minute, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return // e.g. a scripted link event naming a non-edge of the line
+		}
+		if err := CheckTimeline(tl); err != nil {
+			t.Fatalf("timeline invariant violated for %q: %v", s, err)
+		}
+		// Same inputs must reproduce the same timeline.
+		tl2, err := spec.Timeline(numNodes, edges, 30*time.Minute, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tl) != len(tl2) {
+			t.Fatalf("timeline not deterministic: %d vs %d events", len(tl), len(tl2))
+		}
+		for i := range tl {
+			if tl[i] != tl2[i] {
+				t.Fatalf("timeline not deterministic at %d: %+v vs %+v", i, tl[i], tl2[i])
+			}
+		}
+	})
+}

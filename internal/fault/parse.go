@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"radar/internal/topology"
+)
+
+// ParseSchedule parses the compact fault-schedule DSL used by the -faults
+// command-line flag. A schedule is a semicolon-separated list of clauses:
+//
+//	crash:NODE@START[+DOWNTIME]   crash host NODE at START; recover after
+//	                              DOWNTIME (omitted = never recovers)
+//	link:A-B@START[+DOWNTIME]     cut the A-B link at START
+//	mtbf:DUR / mttr:DUR           exponential host crash cycles with the
+//	                              given mean time between failures / to
+//	                              repair (both required together)
+//	linkmtbf:DUR / linkmttr:DUR   the link-failure analogues
+//
+// Durations use Go syntax ("90s", "5m", "1h30m"). Whitespace around
+// clauses is ignored; an empty string yields a disabled Spec. Examples:
+//
+//	crash:7@5m+3m; crash:12@10m
+//	mtbf:20m; mttr:2m
+//	link:7-9@8m+90s; linkmtbf:30m; linkmttr:1m
+//
+// Node indices are validated against the topology later (Spec.Validate),
+// and scripted links must name real backbone edges (Spec.Timeline); the
+// parser only requires non-negative integers.
+func ParseSchedule(s string) (Spec, error) {
+	var spec Spec
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: clause %q needs a key: prefix", clause)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		rest = strings.TrimSpace(rest)
+		var err error
+		switch key {
+		case "crash":
+			err = parseCrash(&spec, rest)
+		case "link":
+			err = parseLinkCut(&spec, rest)
+		case "mtbf":
+			spec.HostMTBF, err = parsePositiveDuration(rest)
+		case "mttr":
+			spec.HostMTTR, err = parsePositiveDuration(rest)
+		case "linkmtbf":
+			spec.LinkMTBF, err = parsePositiveDuration(rest)
+		case "linkmttr":
+			spec.LinkMTTR, err = parsePositiveDuration(rest)
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown clause %q", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+	}
+	if spec.HostMTBF > 0 && spec.HostMTTR <= 0 {
+		return Spec{}, fmt.Errorf("fault: mtbf needs a matching mttr clause")
+	}
+	if spec.HostMTTR > 0 && spec.HostMTBF <= 0 {
+		return Spec{}, fmt.Errorf("fault: mttr needs a matching mtbf clause")
+	}
+	if spec.LinkMTBF > 0 && spec.LinkMTTR <= 0 {
+		return Spec{}, fmt.Errorf("fault: linkmtbf needs a matching linkmttr clause")
+	}
+	if spec.LinkMTTR > 0 && spec.LinkMTBF <= 0 {
+		return Spec{}, fmt.Errorf("fault: linkmttr needs a matching linkmtbf clause")
+	}
+	return spec, nil
+}
+
+// parseCrash parses "NODE@START[+DOWNTIME]".
+func parseCrash(spec *Spec, s string) error {
+	elem, start, downtime, err := parseWindow(s)
+	if err != nil {
+		return err
+	}
+	node, err := parseNode(elem)
+	if err != nil {
+		return err
+	}
+	spec.Events = append(spec.Events, Event{Kind: HostDown, At: start, Node: node})
+	if downtime > 0 {
+		spec.Events = append(spec.Events, Event{Kind: HostUp, At: start + downtime, Node: node})
+	}
+	return nil
+}
+
+// parseLinkCut parses "A-B@START[+DOWNTIME]".
+func parseLinkCut(spec *Spec, s string) error {
+	elem, start, downtime, err := parseWindow(s)
+	if err != nil {
+		return err
+	}
+	as, bs, ok := strings.Cut(elem, "-")
+	if !ok {
+		return fmt.Errorf("link endpoints must be A-B, got %q", elem)
+	}
+	a, err := parseNode(as)
+	if err != nil {
+		return err
+	}
+	b, err := parseNode(bs)
+	if err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("link cannot join node %d to itself", a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	spec.Events = append(spec.Events, Event{Kind: LinkDown, At: start, A: a, B: b})
+	if downtime > 0 {
+		spec.Events = append(spec.Events, Event{Kind: LinkUp, At: start + downtime, A: a, B: b})
+	}
+	return nil
+}
+
+// parseWindow splits "ELEM@START[+DOWNTIME]" and parses the durations.
+func parseWindow(s string) (elem string, start, downtime time.Duration, err error) {
+	elem, when, ok := strings.Cut(s, "@")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("missing @START time")
+	}
+	elem = strings.TrimSpace(elem)
+	startStr, downStr, hasDown := strings.Cut(when, "+")
+	start, err = time.ParseDuration(strings.TrimSpace(startStr))
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("bad start time: %w", err)
+	}
+	if start < 0 {
+		return "", 0, 0, fmt.Errorf("start time %v must be non-negative", start)
+	}
+	if hasDown {
+		downtime, err = time.ParseDuration(strings.TrimSpace(downStr))
+		if err != nil {
+			return "", 0, 0, fmt.Errorf("bad downtime: %w", err)
+		}
+		if downtime <= 0 {
+			return "", 0, 0, fmt.Errorf("downtime %v must be positive", downtime)
+		}
+	}
+	return elem, start, downtime, nil
+}
+
+// parseNode parses a non-negative node index.
+func parseNode(s string) (topology.NodeID, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad node index %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("node index %d must be non-negative", v)
+	}
+	return topology.NodeID(v), nil
+}
+
+// parsePositiveDuration parses a strictly positive duration.
+func parsePositiveDuration(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("duration %v must be positive", d)
+	}
+	return d, nil
+}

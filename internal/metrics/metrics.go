@@ -32,6 +32,12 @@ type Counters struct {
 	Drops            int64
 	Refusals         int64
 	Requests         int64
+	// RepairReplications counts replications made to restore objects to the
+	// replica floor after failures (the availability extension).
+	RepairReplications int64
+	// FailedRequests counts requests lost to faults: serviced-host crash,
+	// severed forwarding path, or no reachable replica.
+	FailedRequests int64
 }
 
 // HostLoadSample is one Figure 8b sample: a host's measured load
@@ -59,6 +65,7 @@ type Collector struct {
 	latencySum []float64 // seconds
 	latencyCnt []int64
 	latencyH   []latencyHist
+	failedCnt  []int64 // fault-failed requests per bucket
 
 	// Cached bucket of the most recent sample: now in [curStart,
 	// curStart+bucket) resolves to curIdx without division.
@@ -68,6 +75,12 @@ type Collector struct {
 	maxLoad   []Point
 	hostLoads []HostLoadSample
 	replicas  []Point // average replicas per object over time
+
+	// Availability accounting (fault injection).
+	outages           int64   // completed zero-replica outage windows
+	unavailObjSecs    float64 // total object-seconds spent with zero replicas
+	belowFloor        []Point // objects below the replica floor over time
+	belowFloorObjSecs float64 // object-seconds spent below the replica floor
 
 	counters Counters
 }
@@ -96,6 +109,7 @@ func (c *Collector) Reserve(horizon time.Duration) {
 	c.latencySum = append(make([]float64, 0, n), c.latencySum...)
 	c.latencyCnt = append(make([]int64, 0, n), c.latencyCnt...)
 	c.latencyH = append(make([]latencyHist, 0, n), c.latencyH...)
+	c.failedCnt = append(make([]int64, 0, n), c.failedCnt...)
 }
 
 func (c *Collector) idx(now time.Duration) int {
@@ -111,6 +125,7 @@ func (c *Collector) idx(now time.Duration) int {
 		c.latencySum = append(c.latencySum, 0)
 		c.latencyCnt = append(c.latencyCnt, 0)
 		c.latencyH = append(c.latencyH, latencyHist{})
+		c.failedCnt = append(c.failedCnt, 0)
 	}
 	c.curIdx = i
 	c.curStart = time.Duration(i) * c.bucket
@@ -136,6 +151,32 @@ func (c *Collector) RecordLatency(deliveredAt, latency time.Duration) {
 	c.latencyCnt[i]++
 	c.latencyH[i].observe(latency)
 	c.counters.Requests++
+}
+
+// RecordFailedRequest records a request lost to a fault (crashed host,
+// severed path, or no reachable replica) at the time it failed.
+func (c *Collector) RecordFailedRequest(now time.Duration) {
+	c.failedCnt[c.idx(now)]++
+	c.counters.FailedRequests++
+}
+
+// RecordOutageWindow records one completed zero-replica outage window of a
+// single object: the object had no live registered replica from start until
+// end. Object-seconds of unavailability accumulate.
+func (c *Collector) RecordOutageWindow(start, end time.Duration) {
+	if end < start {
+		return
+	}
+	c.outages++
+	c.unavailObjSecs += (end - start).Seconds()
+}
+
+// RecordBelowFloor records a census of objects whose replica count is below
+// the configured floor: count objects at time now, contributing objSecs
+// object-seconds (count × census interval) since the previous census.
+func (c *Collector) RecordBelowFloor(now time.Duration, count int, objSecs float64) {
+	c.belowFloor = append(c.belowFloor, Point{T: now, V: float64(count)})
+	c.belowFloorObjSecs += objSecs
 }
 
 // RecordMaxLoad records the system-wide maximum measured server load at a
@@ -166,9 +207,12 @@ func (c *Collector) OnMigrate(_ time.Duration, _ object.ID, _, _ topology.NodeID
 
 // OnReplicate implements protocol.Observer.
 func (c *Collector) OnReplicate(_ time.Duration, _ object.ID, _, _ topology.NodeID, kind protocol.MoveKind) {
-	if kind == protocol.GeoMove {
+	switch kind {
+	case protocol.GeoMove:
 		c.counters.GeoReplications++
-	} else {
+	case protocol.RepairMove:
+		c.counters.RepairReplications++
+	default:
 		c.counters.LoadReplications++
 	}
 }
@@ -252,6 +296,33 @@ func (c *Collector) HostLoadSeries() []HostLoadSample {
 	copy(out, c.hostLoads)
 	return out
 }
+
+// FailedRequestSeries returns fault-failed requests per bucket.
+func (c *Collector) FailedRequestSeries() []Point {
+	out := make([]Point, len(c.failedCnt))
+	for i := range out {
+		out[i] = Point{T: time.Duration(i) * c.bucket, V: float64(c.failedCnt[i])}
+	}
+	return out
+}
+
+// Outages returns the number of completed zero-replica outage windows.
+func (c *Collector) Outages() int64 { return c.outages }
+
+// UnavailableObjectSeconds returns total object-seconds spent with zero
+// live replicas.
+func (c *Collector) UnavailableObjectSeconds() float64 { return c.unavailObjSecs }
+
+// BelowFloorSeries returns the objects-below-replica-floor census series.
+func (c *Collector) BelowFloorSeries() []Point {
+	out := make([]Point, len(c.belowFloor))
+	copy(out, c.belowFloor)
+	return out
+}
+
+// BelowFloorObjectSeconds returns total object-seconds spent below the
+// replica floor.
+func (c *Collector) BelowFloorObjectSeconds() float64 { return c.belowFloorObjSecs }
 
 // ReplicaSeries returns the average-replicas-per-object series.
 func (c *Collector) ReplicaSeries() []Point {

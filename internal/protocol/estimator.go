@@ -80,6 +80,12 @@ func (e *LoadEstimator) OnIntervalClose(start time.Duration) {
 	}
 }
 
+// Reset discards both estimates and their timing state — the model of a
+// host crash wiping in-memory state. Without it a crashed host would come
+// back still carrying pre-crash upper/lower bounds that no measurement
+// interval of the downtime can retire coherently (stale bounds leak).
+func (e *LoadEstimator) Reset() { *e = LoadEstimator{} }
+
 // LoadForAccept returns the load a host must use when deciding whether to
 // accept objects from other hosts: the upper-limit estimate while active,
 // the measured load otherwise.

@@ -127,3 +127,70 @@ func TestEstimatorSandwichInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimatorRetirementNeedsNoTraffic pins that estimate retirement is
+// driven purely by measurement-interval closes (simulated time), never by
+// request arrivals: a host that stops receiving requests entirely still
+// sheds its bounds once a clean interval completes. The simulator closes
+// every host's interval on a global tick, so an idle host's OnIntervalClose
+// sequence is exactly this.
+func TestEstimatorRetirementNeedsNoTraffic(t *testing.T) {
+	var e LoadEstimator
+	e.OnAccept(10*time.Second, 30, 6)
+	e.OnShed(12*time.Second, 30, 4)
+	// No Load()/ObjectLoad() interaction, no further relocations — only
+	// the periodic interval closes an idle host still gets.
+	for start := 0 * time.Second; start <= 10*time.Second; start += 5 * time.Second {
+		e.OnIntervalClose(start)
+	}
+	if e.UpperActive() {
+		t.Error("upper estimate survived clean intervals on an idle host (dirty interval [10s,15s) retired too early?)")
+	}
+	// lastShed = 12s > start 10s: the shed is retired only by the next
+	// close, at start 15s.
+	if !e.LowerActive() {
+		t.Error("lower estimate retired by an interval that contained the shed")
+	}
+	e.OnIntervalClose(15 * time.Second)
+	if e.LowerActive() {
+		t.Error("lower estimate survived a clean interval on an idle host")
+	}
+	if got := e.LoadForAccept(7); got != 7 {
+		t.Errorf("LoadForAccept = %v, want measured passthrough after retirement", got)
+	}
+}
+
+// TestEstimatorReset pins the crash semantics: Reset discards both
+// estimates AND their timing state, so a recovered host neither carries
+// stale bounds nor trips the §2.1 footnote-2 acquisition halt on
+// pre-crash upperSince.
+func TestEstimatorReset(t *testing.T) {
+	var e LoadEstimator
+	e.OnAccept(time.Minute, 80, 10)
+	e.OnShed(time.Minute, 80, 10)
+	if !e.UpperActive() || !e.LowerActive() {
+		t.Fatal("setup: estimates not active")
+	}
+	e.Reset()
+	if e.UpperActive() || e.LowerActive() {
+		t.Error("Reset left estimates active")
+	}
+	if got := e.UpperActiveFor(2 * time.Hour); got != 0 {
+		t.Errorf("UpperActiveFor after Reset = %v, want 0 (stale upperSince would halt acquisitions)", got)
+	}
+	if got := e.LoadForAccept(12); got != 12 {
+		t.Errorf("LoadForAccept after Reset = %v, want measured 12", got)
+	}
+	if got := e.LoadForOffload(12); got != 12 {
+		t.Errorf("LoadForOffload after Reset = %v, want measured 12", got)
+	}
+	// A fresh accept after Reset reseeds from measured, exactly like a
+	// newly booted host.
+	e.OnAccept(90*time.Minute, 20, 5)
+	if got := e.LoadForAccept(20); got != 25 {
+		t.Errorf("upper after post-Reset accept = %v, want 25", got)
+	}
+	if got := e.UpperActiveFor(91 * time.Minute); got != time.Minute {
+		t.Errorf("UpperActiveFor = %v, want 1m (active since the post-Reset accept)", got)
+	}
+}

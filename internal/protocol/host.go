@@ -41,6 +41,10 @@ type Env struct {
 	// consistency hook of §5 (category-3 objects cap their replica
 	// count). Migration is never gated.
 	CanReplicate func(id object.ID, currentReplicas int) bool
+	// FindRepairTarget locates a host able to take a repair replica of id:
+	// a live host below the low watermark not already holding the object.
+	// Required when Params.ReplicaFloor > 1; unused otherwise.
+	FindRepairTarget func(id object.ID, from topology.NodeID) (topology.NodeID, bool)
 	// Observer, if non-nil, receives placement events.
 	Observer Observer
 }
@@ -100,6 +104,9 @@ type HostStats struct {
 	RefusalsGot      int64
 	OffloadRuns      int64
 	Accepted         int64
+	// RepairReplications counts replications made to restore objects to the
+	// replica floor after failures (the availability extension).
+	RepairReplications int64
 	// Refusal breakdown by which guard fired.
 	RefusedHalt    int64 // relocation halt while estimates stay dirty
 	RefusedLW      int64 // accept-side load at or above the low watermark
@@ -121,6 +128,9 @@ func NewHost(id topology.NodeID, params Params, env Env, loads LoadSource) (*Hos
 	}
 	if loads == nil {
 		return nil, fmt.Errorf("%w: loads", ErrNilDependency)
+	}
+	if params.ReplicaFloor > 1 && env.FindRepairTarget == nil {
+		return nil, fmt.Errorf("%w: FindRepairTarget (required when ReplicaFloor > 1)", ErrNilDependency)
 	}
 	if env.Observer == nil {
 		env.Observer = nopObserver{}
@@ -198,6 +208,32 @@ func (h *Host) OnMeasurementIntervalClose(start time.Duration) {
 	h.est.OnIntervalClose(start)
 }
 
+// OnCrash models a host failure wiping the host's in-memory control state:
+// load estimates, offloading mode and access counts are discarded. Hosted
+// objects survive (disk state) so the host can re-register its replicas on
+// recovery.
+func (h *Host) OnCrash() {
+	h.est.Reset()
+	h.offloading = false
+	for _, st := range h.objects {
+		st.reset()
+	}
+}
+
+// OnRecover prepares a host returning to service at virtual time now:
+// every hosted object is marked as freshly acquired so the first placement
+// pass after recovery — whose window reaches back over the downtime
+// silence and covers at most a sliver of post-recovery traffic — skips
+// them, the same measurement-hygiene rule applied to mid-window
+// acquisitions. lastPlacement deliberately stays at the last pre-crash
+// pass (strictly before now), which is what makes AcquiredAt > prev hold
+// for every survivor; decisions resume one full clean window later.
+func (h *Host) OnRecover(now time.Duration) {
+	for _, st := range h.objects {
+		st.AcquiredAt = now
+	}
+}
+
 // PlacementSummary reports what one DecidePlacement run did.
 type PlacementSummary struct {
 	Dropped     int
@@ -206,6 +242,8 @@ type PlacementSummary struct {
 	AffReduced  int
 	OffloadRan  bool
 	OffloadSent int
+	// Repaired counts replica-floor repair replications made this run.
+	Repaired int
 }
 
 // moved reports whether any object was dropped, migrated or replicated.
@@ -236,6 +274,10 @@ func (h *Host) DecidePlacement(now time.Duration) PlacementSummary {
 	}
 	if load < h.params.LowWatermark {
 		h.offloading = false
+	}
+
+	if h.params.ReplicaFloor > 1 {
+		sum.Repaired = h.repairReplicas(now)
 	}
 
 	for _, id := range h.Objects() {
@@ -293,6 +335,54 @@ func (h *Host) DecidePlacement(now time.Duration) PlacementSummary {
 		st.reset()
 	}
 	return sum
+}
+
+// repairReplicas restores hosted objects whose recorded replica count fell
+// below Params.ReplicaFloor (failures thinned the set) by replicating them
+// to targets chosen by Env.FindRepairTarget. It runs before the Fig. 3 pass
+// so availability repair is not starved by geo decisions. Returns the
+// number of repair replications made.
+func (h *Host) repairReplicas(now time.Duration) int {
+	repaired := 0
+	for _, id := range h.Objects() {
+		st, ok := h.objects[id]
+		if !ok {
+			continue
+		}
+		red := h.env.RedirectorFor(id)
+		count := red.ReplicaCount(id)
+		if count == 0 {
+			// This host's own replica is not registered (it crashed and has
+			// not re-registered yet); nothing sensible to repair from.
+			continue
+		}
+		for count < h.params.ReplicaFloor {
+			if h.env.CanReplicate != nil && !h.env.CanReplicate(id, count) {
+				break
+			}
+			target, ok := h.env.FindRepairTarget(id, h.ID)
+			if !ok {
+				break
+			}
+			peer := h.env.Peer(target)
+			if peer == nil {
+				break
+			}
+			objLoad := h.loads.ObjectLoad(id)
+			unitLoad := objLoad / float64(st.Aff)
+			if !peer.CreateObj(now, Replicate, id, unitLoad, st.Aff, h.ID) {
+				h.Stats.RefusalsGot++
+				h.env.Observer.OnRefuse(now, id, h.ID, target, Replicate)
+				break
+			}
+			h.est.OnShed(now, h.loads.Load(), ReplicationSourceMaxDecrease(objLoad))
+			h.Stats.RepairReplications++
+			h.env.Observer.OnReplicate(now, id, h.ID, target, RepairMove)
+			repaired++
+			count = red.ReplicaCount(id)
+		}
+	}
+	return repaired
 }
 
 // candidatesByDistanceDesc returns the object's candidate nodes ordered by

@@ -83,6 +83,9 @@ func newCluster(t *testing.T, topo *topology.Topology, params Params) *cluster {
 			RedirectorFor: func(object.ID) RedirectorControl { return c.red },
 			Peer:          func(p topology.NodeID) *Host { return c.hosts[p] },
 			FindRecipient: c.findRecipient,
+			FindRepairTarget: func(id object.ID, from topology.NodeID) (topology.NodeID, bool) {
+				return c.findRepairTarget(id, from)
+			},
 			CopyObject: func(_ time.Duration, from, to topology.NodeID, id object.ID) {
 				c.copies = append(c.copies, copyRec{from: from, to: to, id: id})
 			},
@@ -103,6 +106,22 @@ func (c *cluster) findRecipient(exclude topology.NodeID) (topology.NodeID, bool)
 	best, bestLoad, found := topology.NodeID(0), 0.0, false
 	for i, h := range c.hosts {
 		if topology.NodeID(i) == exclude {
+			continue
+		}
+		l := h.Estimator().LoadForAccept(c.loads[i].Load())
+		if l < h.params.LowWatermark && (!found || l < bestLoad) {
+			best, bestLoad, found = topology.NodeID(i), l, true
+		}
+	}
+	return best, found
+}
+
+// findRepairTarget mirrors the simulator's repair-target choice: the
+// least-loaded host below the low watermark not already holding id.
+func (c *cluster) findRepairTarget(id object.ID, from topology.NodeID) (topology.NodeID, bool) {
+	best, bestLoad, found := topology.NodeID(0), 0.0, false
+	for i, h := range c.hosts {
+		if topology.NodeID(i) == from || h.Has(id) {
 			continue
 		}
 		l := h.Estimator().LoadForAccept(c.loads[i].Load())

@@ -63,6 +63,15 @@ type Params struct {
 	// for creating distant replicas"). Pair it with PolicyClosest for the
 	// full related-work baseline. Off in the paper's protocol.
 	NeighborOnly bool
+	// ReplicaFloor is the minimum replica count the system tries to keep
+	// per object — the availability extension paired with fault injection.
+	// When > 1, the redirector refuses drops that would go below the floor
+	// and every host's placement pass re-replicates hosted objects whose
+	// replica count fell below it (a repair replication, reported
+	// separately from geo/load moves). Zero or one preserves the paper's
+	// behavior exactly: replicas exist only where demand warrants them and
+	// only the last copy is protected.
+	ReplicaFloor int
 	// StorageCapacity caps the number of objects a host may store —
 	// the storage component of the §2.1 vector load ("the load metric
 	// may be represented by a vector reflecting multiple components,
@@ -139,6 +148,9 @@ func (p Params) Validate() error {
 	}
 	if p.MaxOffloadPerRun < 0 {
 		return fmt.Errorf("protocol: MaxOffloadPerRun %d must be non-negative", p.MaxOffloadPerRun)
+	}
+	if p.ReplicaFloor < 0 {
+		return fmt.Errorf("protocol: ReplicaFloor %d must be non-negative", p.ReplicaFloor)
 	}
 	if p.StorageCapacity < 0 {
 		return fmt.Errorf("protocol: StorageCapacity %d must be non-negative", p.StorageCapacity)

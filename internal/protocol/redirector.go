@@ -82,6 +82,16 @@ type Redirector struct {
 	cRatio  float64
 	entries []redirEntry // indexed by object.ID, grown on demand
 
+	// minReplicas is the replica count RequestDrop preserves per object
+	// (>= 1; see SetReplicaFloor).
+	minReplicas int
+
+	// reachable, when non-nil, filters ChooseReplica candidates (fault
+	// injection: a replica whose forwarding path crosses a cut link is
+	// skipped). Nil means every recorded replica is eligible — the exact
+	// paper behavior.
+	reachable func(host topology.NodeID) bool
+
 	// chooseCount counts ChooseReplica calls, for reports.
 	chooseCount int64
 }
@@ -90,6 +100,10 @@ type Redirector struct {
 var (
 	ErrUnknownObject  = errors.New("protocol: redirector has no replicas recorded for object")
 	ErrUnknownReplica = errors.New("protocol: no such replica recorded")
+	// ErrNoReachableReplica reports that an object has recorded replicas
+	// but the reachability filter excluded all of them (every forwarding
+	// path crosses a cut link); the request fails.
+	ErrNoReachableReplica = errors.New("protocol: no reachable replica")
 )
 
 // NewRedirector returns a redirector at location using the given routes,
@@ -105,11 +119,30 @@ func NewRedirector(location topology.NodeID, routes *routing.Table, policy Polic
 		return nil, fmt.Errorf("protocol: unknown policy %d", policy)
 	}
 	return &Redirector{
-		Location: location,
-		routes:   routes,
-		policy:   policy,
-		cRatio:   distConstant,
+		Location:    location,
+		routes:      routes,
+		policy:      policy,
+		cRatio:      distConstant,
+		minReplicas: 1,
 	}, nil
+}
+
+// SetReplicaFloor raises the replica count RequestDrop preserves per
+// object from the default 1 (the paper's last-copy rule) to n — the
+// redirector side of Params.ReplicaFloor. Values below 1 are clamped to 1.
+func (r *Redirector) SetReplicaFloor(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.minReplicas = n
+}
+
+// SetReachable installs a reachability filter for ChooseReplica: replicas
+// on hosts for which f returns false are skipped, and if every recorded
+// replica is filtered out the request fails with ErrNoReachableReplica.
+// A nil f restores the unfiltered paper behavior.
+func (r *Redirector) SetReachable(f func(host topology.NodeID) bool) {
+	r.reachable = f
 }
 
 // lookup returns the entry for id, or nil if none was ever recorded.
@@ -149,6 +182,9 @@ func (r *Redirector) ChooseReplica(g topology.NodeID, id object.ID) (topology.No
 		return 0, fmt.Errorf("%w: object %d", ErrUnknownObject, id)
 	}
 	r.chooseCount++
+	if r.reachable != nil {
+		return r.chooseFiltered(g, id, e)
+	}
 	switch r.policy {
 	case PolicyRoundRobin:
 		e.cursor = (e.cursor + 1) % len(e.replicas)
@@ -168,6 +204,67 @@ func (r *Redirector) ChooseReplica(g topology.NodeID, id object.ID) (topology.No
 		bestD := dist[closest.Host]
 		leastU := least.unitRcnt()
 		for i := 1; i < len(e.replicas); i++ {
+			rep := &e.replicas[i]
+			if d := dist[rep.Host]; d < bestD {
+				closest, bestD = rep, d
+			}
+			if u := rep.unitRcnt(); u < leastU {
+				least, leastU = rep, u
+			}
+		}
+		chosen := closest
+		if closest.unitRcnt() > r.cRatio*leastU {
+			chosen = least
+		}
+		chosen.Rcnt++
+		return chosen.Host, nil
+	}
+}
+
+// chooseFiltered is ChooseReplica under a reachability filter: the same
+// per-policy logic restricted to replicas the filter admits. It lives on a
+// separate code path so fault-free runs execute the original byte-for-byte.
+func (r *Redirector) chooseFiltered(g topology.NodeID, id object.ID, e *redirEntry) (topology.NodeID, error) {
+	var buf [8]int
+	live := buf[:0]
+	for i := range e.replicas {
+		if r.reachable(e.replicas[i].Host) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return 0, fmt.Errorf("%w: object %d", ErrNoReachableReplica, id)
+	}
+	switch r.policy {
+	case PolicyRoundRobin:
+		// Advance the cursor until it lands on a reachable replica; the
+		// non-empty live set guarantees termination.
+		for {
+			e.cursor = (e.cursor + 1) % len(e.replicas)
+			if r.reachable(e.replicas[e.cursor].Host) {
+				break
+			}
+		}
+		rep := &e.replicas[e.cursor]
+		rep.Rcnt++
+		return rep.Host, nil
+	case PolicyClosest:
+		dist := r.routes.DistancesFrom(g)
+		best := &e.replicas[live[0]]
+		bestD := dist[best.Host]
+		for _, i := range live[1:] {
+			if d := dist[e.replicas[i].Host]; d < bestD {
+				best, bestD = &e.replicas[i], d
+			}
+		}
+		best.Rcnt++
+		return best.Host, nil
+	default:
+		dist := r.routes.DistancesFrom(g)
+		closest, least := &e.replicas[live[0]], &e.replicas[live[0]]
+		bestD := dist[closest.Host]
+		leastU := least.unitRcnt()
+		for _, i := range live[1:] {
 			rep := &e.replicas[i]
 			if d := dist[rep.Host]; d < bestD {
 				closest, bestD = rep, d
@@ -235,12 +332,13 @@ func (e *redirEntry) resetCounts() {
 
 // RequestDrop arbitrates a host's intention to drop its replica of id
 // (the ReduceAffinity handshake, Fig. 3). It refuses if the replica is the
-// object's last. On approval the replica is removed from the recorded set
-// immediately — deletion is notified before the fact — and the remaining
-// counts are reset.
+// object's last, or if dropping would take the replica count below the
+// configured replica floor. On approval the replica is removed from the
+// recorded set immediately — deletion is notified before the fact — and
+// the remaining counts are reset.
 func (r *Redirector) RequestDrop(id object.ID, host topology.NodeID) bool {
 	e := r.lookup(id)
-	if e == nil || len(e.replicas) <= 1 {
+	if e == nil || len(e.replicas) <= r.minReplicas {
 		return false
 	}
 	for i := range e.replicas {

@@ -105,14 +105,22 @@ type MoveKind int
 const (
 	GeoMove MoveKind = iota + 1
 	LoadMove
+	// RepairMove is a replication made to restore an object's replica
+	// count to Params.ReplicaFloor after failures thinned it — the
+	// availability extension, not a paper mechanism.
+	RepairMove
 )
 
 // String returns the kind's report name.
 func (k MoveKind) String() string {
-	if k == GeoMove {
+	switch k {
+	case GeoMove:
 		return "geo"
+	case RepairMove:
+		return "repair"
+	default:
+		return "load"
 	}
-	return "load"
 }
 
 // Observer receives placement protocol events; the simulator's metrics

@@ -166,5 +166,18 @@ func Summary(res *sim.Results) *Table {
 	t.AddRow("geo migrations / replications", fmt.Sprintf("%d / %d", c.GeoMigrations, c.GeoReplications))
 	t.AddRow("load migrations / replications", fmt.Sprintf("%d / %d", c.LoadMigrations, c.LoadReplications))
 	t.AddRow("drops / refusals", fmt.Sprintf("%d / %d", c.Drops, c.Refusals))
+	// Availability section, only with fault injection configured: renders
+	// of fault-free runs stay byte-identical to earlier builds (golden
+	// files pin this).
+	if res.FaultsEnabled {
+		t.AddRow("host failures / recoveries", fmt.Sprintf("%d / %d", res.Failures, res.Recoveries))
+		t.AddRow("link failures / recoveries", fmt.Sprintf("%d / %d", res.LinkFailures, res.LinkRecoveries))
+		t.AddRow("requests failed (faults)", strconv.FormatInt(res.FailedRequests, 10))
+		t.AddRow("outage windows", strconv.FormatInt(res.Outages, 10))
+		t.AddRow("unavailable object-seconds", F(res.UnavailObjSecs, 1))
+		t.AddRow("below-floor object-seconds", F(res.BelowFloorObjSecs, 1))
+		t.AddRow("repair replications", strconv.FormatInt(c.RepairReplications, 10))
+		t.AddRow("repair traffic (byte-hops)", strconv.FormatInt(res.RepairByteHops, 10))
+	}
 	return t
 }

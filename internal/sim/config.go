@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"radar/internal/consistency"
+	"radar/internal/fault"
 	"radar/internal/object"
 	"radar/internal/protocol"
 	"radar/internal/server"
@@ -96,8 +97,16 @@ type Config struct {
 	// every Updates.BatchInterval. Requires Consistency.
 	Updates UpdateConfig
 	// Failures schedules host crash/recovery events (extension beyond
-	// the paper; see Failure).
+	// the paper; see Failure). Kept for backward compatibility; new code
+	// should use Faults, which subsumes it.
 	Failures []Failure
+	// Faults is the deterministic fault-injection schedule: scripted
+	// crash/recovery and link cut/restore events plus optional stochastic
+	// MTBF/MTTR cycles drawn from the run's seed (a dedicated PRNG stream,
+	// so enabling faults never perturbs the workload's randomness). The
+	// zero value disables injection and leaves the run bit-identical to a
+	// build without the fault subsystem.
+	Faults fault.Spec
 	// ExtraObserver, when non-nil, receives every placement protocol
 	// event in addition to the metrics collector — e.g. a trace.Writer.
 	ExtraObserver protocol.Observer
@@ -228,6 +237,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Topo != nil {
 		if err := c.validateFailures(); err != nil {
+			return err
+		}
+		if err := c.Faults.Validate(c.Topo.NumNodes()); err != nil {
 			return err
 		}
 		if c.NodeRates != nil {

@@ -2,11 +2,21 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
-	"radar/internal/simevent"
+	"radar/internal/fault"
+	"radar/internal/object"
 	"radar/internal/topology"
+	"radar/internal/workload"
 )
+
+// faultStream is the PRNG stream index reserved for stochastic fault
+// timelines. Gateways use streams 0..numNodes-1 of the run's seed, so a
+// large constant keeps fault draws disjoint from every workload stream:
+// enabling faults never perturbs request randomness, and the timeline is
+// expanded up front so it is independent of experiment parallelism.
+const faultStream uint64 = 1 << 32
 
 // Failure schedules a hosting-server crash (the co-located router stays
 // up, so routing is unaffected — a process failure, not a link cut). While
@@ -14,6 +24,10 @@ import (
 // purged from the redirectors, so objects whose only copy lived there are
 // unavailable until recovery. On recovery the host re-registers the
 // replicas still on its disk.
+//
+// Failure is the legacy scripted-crash interface, kept for compatibility;
+// Config.Faults subsumes it (crashes, link cuts, stochastic MTBF/MTTR
+// cycles). Both feed the same timeline.
 //
 // Failure handling is an extension beyond the paper (which targets
 // performance, not availability, §1.1); it exercises the redirector's
@@ -44,48 +58,166 @@ func (c *Config) validateFailures() error {
 	return nil
 }
 
-// scheduleFailures arms the crash/recovery events.
-func (s *Simulation) scheduleFailures() error {
-	for _, f := range s.cfg.Failures {
-		f := f
-		if err := s.engine.Schedule(f.At, func(now time.Duration) { s.failHost(now, f.Node) }); err != nil {
-			return err
-		}
-		if f.RecoverAt > 0 {
-			var recover simevent.Event = func(now time.Duration) { s.recoverHost(now, f.Node) }
-			if err := s.engine.Schedule(f.RecoverAt, recover); err != nil {
-				return err
+// faultsEnabled reports whether any fault source is configured.
+func (s *Simulation) faultsEnabled() bool {
+	return len(s.cfg.Failures) > 0 || s.cfg.Faults.Enabled()
+}
+
+// faultSpec merges the legacy Failures list into the Faults spec as
+// scripted host events, without aliasing either config slice.
+func (s *Simulation) faultSpec() fault.Spec {
+	spec := s.cfg.Faults
+	if len(s.cfg.Failures) > 0 {
+		evs := make([]fault.Event, 0, len(spec.Events)+2*len(s.cfg.Failures))
+		evs = append(evs, spec.Events...)
+		for _, f := range s.cfg.Failures {
+			evs = append(evs, fault.Event{Kind: fault.HostDown, At: f.At, Node: f.Node})
+			if f.RecoverAt > 0 {
+				evs = append(evs, fault.Event{Kind: fault.HostUp, At: f.RecoverAt, Node: f.Node})
 			}
+		}
+		spec.Events = evs
+	}
+	return spec
+}
+
+// topoEdges lists the backbone's undirected edges with first endpoint <
+// second, in deterministic node order — the element order stochastic link
+// cycles draw in.
+func (s *Simulation) topoEdges() [][2]topology.NodeID {
+	var edges [][2]topology.NodeID
+	n := s.topo.NumNodes()
+	for i := 0; i < n; i++ {
+		a := topology.NodeID(i)
+		for _, b := range s.topo.Neighbors(a) {
+			if b > a {
+				edges = append(edges, [2]topology.NodeID{a, b})
+			}
+		}
+	}
+	return edges
+}
+
+// scheduleFaults expands the merged fault spec into a timeline and arms
+// every event. Events beyond the run's horizon are dropped (a permanent
+// failure's recovery simply never fires). When the timeline contains link
+// events, the request path gains severed-link checks and every redirector
+// gets a reachability filter; fault-free runs skip all of it, keeping the
+// hot path bit-identical to a build without fault injection.
+func (s *Simulation) scheduleFaults() error {
+	spec := s.faultSpec()
+	if !spec.Enabled() {
+		return nil
+	}
+	var rng *rand.Rand
+	if spec.HostMTBF > 0 || spec.LinkMTBF > 0 {
+		rng = workload.Stream(s.cfg.Seed, faultStream)
+	}
+	var edges [][2]topology.NodeID
+	if spec.HasLinkFaults() {
+		edges = s.topoEdges()
+	}
+	timeline, err := spec.Timeline(s.topo.NumNodes(), edges, s.cfg.Duration, rng)
+	if err != nil {
+		return fmt.Errorf("sim: building fault timeline: %w", err)
+	}
+	for _, ev := range timeline {
+		if ev.At > s.cfg.Duration {
+			continue
+		}
+		ev := ev
+		var fire func(now time.Duration)
+		switch ev.Kind {
+		case fault.HostDown:
+			fire = func(now time.Duration) { s.failHost(now, ev.Node) }
+		case fault.HostUp:
+			fire = func(now time.Duration) { s.recoverHost(now, ev.Node) }
+		case fault.LinkDown:
+			s.haveLinkFaults = true
+			fire = func(now time.Duration) { s.failLink(now, ev.A, ev.B) }
+		case fault.LinkUp:
+			s.haveLinkFaults = true
+			fire = func(now time.Duration) { s.recoverLink(now, ev.A, ev.B) }
+		}
+		if err := s.engine.Schedule(ev.At, fire); err != nil {
+			return fmt.Errorf("sim: scheduling fault event: %w", err)
+		}
+	}
+	if s.haveLinkFaults {
+		// Redirectors fail requests over to replicas whose forwarding path
+		// is intact; when no recorded replica is reachable the request
+		// fails (counted by dispatch).
+		for _, red := range s.redirectors {
+			loc := red.Location
+			red.SetReachable(func(h topology.NodeID) bool {
+				return s.net.PathUp(s.routes.Path(loc, h))
+			})
 		}
 	}
 	return nil
 }
 
-// failHost marks the node down and purges its replicas from every
-// redirector.
-func (s *Simulation) failHost(_ time.Duration, n topology.NodeID) {
+// failHost marks the node down, wipes the host's in-memory control state,
+// and purges its replicas from every redirector. Objects left with zero
+// recorded replicas open an outage window.
+func (s *Simulation) failHost(now time.Duration, n topology.NodeID) {
 	if s.down[n] {
 		return
 	}
 	s.down[n] = true
 	s.failures++
+	s.hosts[n].OnCrash()
 	for _, red := range s.redirectors {
-		red.PurgeHost(n)
+		for _, id := range red.PurgeHost(n) {
+			if red.ReplicaCount(id) == 0 {
+				if s.outageStart == nil {
+					s.outageStart = make(map[object.ID]time.Duration)
+				}
+				if _, open := s.outageStart[id]; !open {
+					s.outageStart[id] = now
+				}
+			}
+		}
 	}
 }
 
 // recoverHost brings the node back and re-registers the replicas that
-// survived on its disk.
-func (s *Simulation) recoverHost(_ time.Duration, n topology.NodeID) {
+// survived on its disk, closing outage windows its replicas end.
+func (s *Simulation) recoverHost(now time.Duration, n topology.NodeID) {
 	if !s.down[n] {
 		return
 	}
 	s.down[n] = false
 	s.recoveries++
 	h := s.hosts[n]
+	h.OnRecover(now)
 	for _, id := range h.Objects() {
 		s.redirectorFor(id).NotifyReplicaChange(id, n, h.Affinity(id))
+		if start, open := s.outageStart[id]; open {
+			s.col.RecordOutageWindow(start, now)
+			delete(s.outageStart, id)
+		}
 	}
+}
+
+// failLink cuts the undirected link a-b: traffic whose path crosses it is
+// dropped until restoration (routing tables are immutable, so there is no
+// rerouting — the model of a partition, not of convergence).
+func (s *Simulation) failLink(_ time.Duration, a, b topology.NodeID) {
+	if s.net.LinkIsDown(a, b) {
+		return
+	}
+	s.net.SetLinkDown(a, b, true)
+	s.linkFailures++
+}
+
+// recoverLink restores the undirected link a-b.
+func (s *Simulation) recoverLink(_ time.Duration, a, b topology.NodeID) {
+	if !s.net.LinkIsDown(a, b) {
+		return
+	}
+	s.net.SetLinkDown(a, b, false)
+	s.linkRecoveries++
 }
 
 // Down reports whether node n is currently failed.

@@ -97,6 +97,7 @@ func (r *request) Fire(now time.Duration) {
 	case reqArrive:
 		if s.down[r.h] {
 			s.droppedChoices++ // chosen replica crashed in flight
+			s.col.RecordFailedRequest(now)
 			s.releaseRequest(r)
 			return
 		}
@@ -126,9 +127,23 @@ func (r *request) Fire(now time.Duration) {
 		if next := q.peek(); next != nil {
 			_ = s.engine.ScheduleHandlerReserved(next.doneAt, next.seq, next)
 		}
+		if s.down[r.h] {
+			// Host crashed while this request sat in its queue: the work
+			// dies with the server; the client never hears back.
+			s.col.RecordFailedRequest(now)
+			s.releaseRequest(r)
+			return
+		}
 		s.servers[r.h].OnServed(now, r.id)
 		s.hosts[r.h].OnRequest(r.id, r.g)
-		deliver := s.net.Transfer(now, s.routes.PreferencePath(r.h, r.g), int64(s.cfg.Universe.SizeBytes), simnet.Payload)
+		path := s.routes.PreferencePath(r.h, r.g)
+		if s.haveLinkFaults && !s.net.PathUp(path) {
+			// Response path severed: bytes never reach the gateway.
+			s.col.RecordFailedRequest(now)
+			s.releaseRequest(r)
+			return
+		}
+		deliver := s.net.Transfer(now, path, int64(s.cfg.Universe.SizeBytes), simnet.Payload)
 		s.col.RecordLatency(deliver, deliver-r.t0)
 		s.releaseRequest(r)
 	}

@@ -69,8 +69,33 @@ type Results struct {
 	// Failures / Recoveries count executed host crash and recovery events.
 	Failures   int64
 	Recoveries int64
-	Counters   metrics.Counters
-	HostStats  []protocol.HostStats
+
+	// Availability metrics (fault injection). FaultsEnabled records
+	// whether any fault source was configured; when false every field
+	// below is zero and reports omit the availability section, keeping
+	// fault-free output byte-identical to earlier builds.
+	FaultsEnabled bool
+	// LinkFailures / LinkRecoveries count executed link cut/restore events.
+	LinkFailures   int64
+	LinkRecoveries int64
+	// FailedRequests counts requests lost to faults (crashed host, severed
+	// path, no reachable replica); FailedSeries buckets them over time.
+	FailedRequests int64
+	FailedSeries   []metrics.Point
+	// Outages counts zero-replica outage windows; UnavailObjSecs
+	// integrates their object-seconds of unavailability.
+	Outages        int64
+	UnavailObjSecs float64
+	// BelowFloor is the objects-below-replica-floor census;
+	// BelowFloorObjSecs integrates time spent below the floor.
+	BelowFloor        []metrics.Point
+	BelowFloorObjSecs float64
+	// RepairByteHops is the re-replication traffic spent restoring the
+	// replica floor, in byte×hops.
+	RepairByteHops int64
+
+	Counters  metrics.Counters
+	HostStats []protocol.HostStats
 
 	// InvariantsError is non-nil if the post-run invariant check failed.
 	InvariantsError error

@@ -45,6 +45,17 @@ type Simulation struct {
 	down       []bool
 	failures   int64
 	recoveries int64
+
+	// Fault-injection state. haveLinkFaults arms the per-request severed-
+	// path checks; it stays false in fault-free runs so the hot path is
+	// bit-identical to a build without the fault subsystem.
+	haveLinkFaults bool
+	linkFailures   int64
+	linkRecoveries int64
+	repairByteHops int64
+	// outageStart[id] is when object id lost its last recorded replica;
+	// windows close on recovery (or at the horizon, in results).
+	outageStart map[object.ID]time.Duration
 }
 
 // New builds a simulation from cfg. A nil cfg.Topo selects the
@@ -84,6 +95,11 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if err := s.buildRedirectors(); err != nil {
 		return nil, err
+	}
+	if f := cfg.Protocol.ReplicaFloor; f > 1 {
+		for _, red := range s.redirectors {
+			red.SetReplicaFloor(f)
+		}
 	}
 	if err := s.buildHosts(); err != nil {
 		return nil, err
@@ -191,10 +207,11 @@ func (s *Simulation) buildHosts() error {
 				}
 				return s.hosts[p]
 			},
-			FindRecipient: s.findRecipient,
-			CopyObject:    s.copyObject,
-			CanReplicate:  canReplicate,
-			Observer:      obs,
+			FindRecipient:    s.findRecipient,
+			CopyObject:       s.copyObject,
+			CanReplicate:     canReplicate,
+			FindRepairTarget: s.findRepairTarget,
+			Observer:         obs,
 		}
 		h, err := protocol.NewHost(topology.NodeID(i), s.cfg.Protocol.Weighted(weight), env, srv)
 		if err != nil {
@@ -253,6 +270,26 @@ func (s *Simulation) findRecipient(exclude topology.NodeID) (topology.NodeID, bo
 	return best, found
 }
 
+// findRepairTarget locates a host for a replica-floor repair copy: the
+// live host with the most relative headroom below its low watermark that
+// does not already hold the object.
+func (s *Simulation) findRepairTarget(id object.ID, from topology.NodeID) (topology.NodeID, bool) {
+	best, bestRel, found := topology.NodeID(0), 0.0, false
+	for i := range s.hosts {
+		nid := topology.NodeID(i)
+		if nid == from || s.down[i] || s.hosts[i].Has(id) {
+			continue
+		}
+		l := s.hosts[i].Estimator().LoadForAccept(s.servers[i].Load())
+		lw := s.hosts[i].Params().LowWatermark
+		rel := l / lw
+		if l < lw && (!found || rel < bestRel) {
+			best, bestRel, found = nid, rel, true
+		}
+	}
+	return best, found
+}
+
 // copyObject charges an inter-host object transfer as protocol overhead.
 func (s *Simulation) copyObject(now time.Duration, from, to topology.NodeID, _ object.ID) {
 	s.net.Transfer(now, s.routes.Path(from, to), int64(s.cfg.Universe.SizeBytes), simnet.Overhead)
@@ -299,6 +336,10 @@ func (o *chargingObserver) OnMigrate(now time.Duration, id object.ID, from, to t
 func (o *chargingObserver) OnReplicate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
 	o.s.chargeHandshake(now, from, to)
 	o.s.chargeNotify(now, to, id)
+	if kind == protocol.RepairMove {
+		// Re-replication traffic: the repair copy's bytes over its path.
+		o.s.repairByteHops += int64(o.s.cfg.Universe.SizeBytes) * int64(o.s.routes.Distance(from, to))
+	}
 	o.s.col.OnReplicate(now, id, from, to, kind)
 	if o.s.cfg.ExtraObserver != nil {
 		o.s.cfg.ExtraObserver.OnReplicate(now, id, from, to, kind)
@@ -362,7 +403,7 @@ func (s *Simulation) RunContext(ctx context.Context) (*Results, error) {
 	if err := s.scheduleUpdates(); err != nil {
 		return nil, err
 	}
-	if err := s.scheduleFailures(); err != nil {
+	if err := s.scheduleFaults(); err != nil {
 		return nil, err
 	}
 	if sw := s.cfg.WorkloadSwitch; sw.To != nil {
@@ -431,10 +472,18 @@ func (s *Simulation) scheduleGenerators() error {
 // response along the preference path back to the gateway.
 func (s *Simulation) dispatch(t0 time.Duration, g topology.NodeID, id object.ID) {
 	red := s.redirectorFor(id)
+	if s.haveLinkFaults && !s.net.PathUp(s.routes.Path(g, red.Location)) {
+		s.col.RecordFailedRequest(t0) // redirector unreachable: request lost
+		return
+	}
 	t1 := s.net.ControlLatency(t0, s.routes.Distance(g, red.Location))
 	h, err := red.ChooseReplica(g, id)
 	if err != nil {
+		// No replica to serve from: every copy was purged by crashes, or
+		// the reachability filter excluded them all. Only faults produce
+		// this, so the failed-request metric stays zero in fault-free runs.
 		s.droppedChoices++
+		s.col.RecordFailedRequest(t1)
 		return
 	}
 	t2 := s.net.ControlLatency(t1, s.routes.Distance(red.Location, h))
@@ -503,9 +552,25 @@ func (s *Simulation) schedulePlacement() error {
 // placement interval (Table 2's replica metric).
 func (s *Simulation) scheduleCensus() error {
 	interval := s.cfg.PlacementInterval
+	floor := s.cfg.Protocol.ReplicaFloor
 	var tick simevent.Event
 	tick = func(now time.Duration) {
-		s.col.RecordReplicaCensus(now, s.averageReplicas())
+		if floor > 1 {
+			// One pass yields both the average and the below-floor census;
+			// below-floor object-seconds integrate count x interval.
+			total, below := 0, 0
+			for i := 0; i < s.cfg.Universe.Count; i++ {
+				c := s.redirectorFor(object.ID(i)).ReplicaCount(object.ID(i))
+				total += c
+				if c < floor {
+					below++
+				}
+			}
+			s.col.RecordReplicaCensus(now, float64(total)/float64(s.cfg.Universe.Count))
+			s.col.RecordBelowFloor(now, below, float64(below)*interval.Seconds())
+		} else {
+			s.col.RecordReplicaCensus(now, s.averageReplicas())
+		}
 		if now+interval <= s.cfg.Duration {
 			_ = s.engine.Schedule(now+interval, tick)
 		}
@@ -542,9 +607,9 @@ func (s *Simulation) CheckInvariants() error {
 		id := object.ID(i)
 		reps := s.redirectorFor(id).Replicas(id)
 		if len(reps) == 0 {
-			// With failures configured an object whose only replica lived
+			// With faults configured an object whose only replica lived
 			// on a downed host is legitimately unavailable.
-			if len(s.cfg.Failures) > 0 {
+			if s.faultsEnabled() {
 				continue
 			}
 			return fmt.Errorf("sim: object %d has no replicas recorded", id)
@@ -577,6 +642,13 @@ func (s *Simulation) trimSeries(points []metrics.Point) []metrics.Point {
 
 // results assembles the run's outputs.
 func (s *Simulation) results() *Results {
+	// Close outage windows still open at the horizon so object-seconds of
+	// unavailability are complete. Map order does not matter: windows only
+	// accumulate into order-independent sums.
+	for id, start := range s.outageStart {
+		s.col.RecordOutageWindow(start, s.cfg.Duration)
+		delete(s.outageStart, id)
+	}
 	r := &Results{
 		WorkloadName:      s.cfg.Workload.Name(),
 		Policy:            s.cfg.Policy,
@@ -599,6 +671,16 @@ func (s *Simulation) results() *Results {
 		UpdatesPropagated: s.updatesPropagated,
 		Failures:          s.failures,
 		Recoveries:        s.recoveries,
+		FaultsEnabled:     s.faultsEnabled(),
+		LinkFailures:      s.linkFailures,
+		LinkRecoveries:    s.linkRecoveries,
+		FailedRequests:    s.col.Counters().FailedRequests,
+		FailedSeries:      s.trimSeries(s.col.FailedRequestSeries()),
+		Outages:           s.col.Outages(),
+		UnavailObjSecs:    s.col.UnavailableObjectSeconds(),
+		BelowFloor:        s.col.BelowFloorSeries(),
+		BelowFloorObjSecs: s.col.BelowFloorObjectSeconds(),
+		RepairByteHops:    s.repairByteHops,
 		HostStats:         make([]protocol.HostStats, len(s.hosts)),
 		InvariantsError:   s.CheckInvariants(),
 		TrackedHost:       s.cfg.TrackedHost,

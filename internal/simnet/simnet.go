@@ -100,6 +100,12 @@ type Network struct {
 	// linkBytes[a*n+b] accumulates bytes sent over each directed link,
 	// for hot-link reports.
 	linkBytes []int64
+	// linkDown[a*n+b] marks a cut directed link (fault injection);
+	// allocated lazily on the first SetLinkDown so fault-free runs pay
+	// nothing. Routing tables are immutable, so a down link drops the
+	// traffic whose path crosses it instead of triggering rerouting.
+	linkDown  []bool
+	downLinks int
 	// totals by class.
 	payloadByteHops  int64
 	overheadByteHops int64
@@ -197,6 +203,54 @@ func (nw *Network) PayloadByteHops() int64 { return nw.payloadByteHops }
 
 // OverheadByteHops returns cumulative overhead traffic in byte×hops.
 func (nw *Network) OverheadByteHops() int64 { return nw.overheadByteHops }
+
+// SetLinkDown cuts or restores the undirected link between a and b (both
+// directions at once). It is idempotent: setting an already-down link down
+// again is a no-op.
+func (nw *Network) SetLinkDown(a, b topology.NodeID, down bool) {
+	if nw.linkDown == nil {
+		if !down {
+			return
+		}
+		nw.linkDown = make([]bool, nw.n*nw.n)
+	}
+	for _, li := range [2]int{int(a)*nw.n + int(b), int(b)*nw.n + int(a)} {
+		if nw.linkDown[li] != down {
+			nw.linkDown[li] = down
+			if down {
+				nw.downLinks++
+			} else {
+				nw.downLinks--
+			}
+		}
+	}
+}
+
+// LinkIsDown reports whether the directed link a->b is currently cut.
+func (nw *Network) LinkIsDown(a, b topology.NodeID) bool {
+	if nw.linkDown == nil {
+		return false
+	}
+	return nw.linkDown[int(a)*nw.n+int(b)]
+}
+
+// DownLinks returns the number of currently-cut directed links.
+func (nw *Network) DownLinks() int { return nw.downLinks }
+
+// PathUp reports whether every hop of path is currently up. When no link
+// was ever cut this is a nil check; with no down links it is a counter
+// check, so fault-free traffic pays nothing.
+func (nw *Network) PathUp(path []topology.NodeID) bool {
+	if nw.linkDown == nil || nw.downLinks == 0 {
+		return true
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if nw.linkDown[int(path[i])*nw.n+int(path[i+1])] {
+			return false
+		}
+	}
+	return true
+}
 
 // LinkBytes returns the cumulative bytes sent over the directed link a->b.
 func (nw *Network) LinkBytes(a, b topology.NodeID) int64 {

@@ -244,3 +244,51 @@ func TestContentionFIFOProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestLinkDownLifecycle(t *testing.T) {
+	nw, err := New(DefaultConfig(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topology.NodeID{0, 1, 2}
+	// Fault-free fast path: no allocation, everything up.
+	if !nw.PathUp(path) || nw.DownLinks() != 0 {
+		t.Fatal("fresh network reports a down link")
+	}
+	// Restoring a never-cut link must not allocate the down-map.
+	nw.SetLinkDown(1, 2, false)
+	if nw.DownLinks() != 0 || nw.LinkIsDown(1, 2) {
+		t.Fatal("restoring an up link changed state")
+	}
+
+	nw.SetLinkDown(2, 1, true) // arbitrary endpoint order
+	if !nw.LinkIsDown(1, 2) || !nw.LinkIsDown(2, 1) {
+		t.Error("cut is not bidirectional")
+	}
+	if nw.DownLinks() != 2 {
+		t.Errorf("DownLinks = %d, want 2 (both directions)", nw.DownLinks())
+	}
+	if nw.PathUp(path) {
+		t.Error("path over the cut link reported up")
+	}
+	if !nw.PathUp([]topology.NodeID{0, 1}) {
+		t.Error("path avoiding the cut link reported down")
+	}
+	if !nw.PathUp([]topology.NodeID{2}) {
+		t.Error("single-node path reported down")
+	}
+
+	// Idempotence both ways.
+	nw.SetLinkDown(1, 2, true)
+	if nw.DownLinks() != 2 {
+		t.Errorf("re-cutting changed DownLinks to %d", nw.DownLinks())
+	}
+	nw.SetLinkDown(1, 2, false)
+	nw.SetLinkDown(1, 2, false)
+	if nw.DownLinks() != 0 || nw.LinkIsDown(1, 2) {
+		t.Error("restore did not clear the cut")
+	}
+	if !nw.PathUp(path) {
+		t.Error("path still down after restore (counter fast path broken)")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"radar/internal/consistency"
 	"radar/internal/experiments"
+	"radar/internal/fault"
 	"radar/internal/metrics"
 	"radar/internal/object"
 	"radar/internal/protocol"
@@ -103,6 +104,9 @@ var (
 	ErrTraceWriterShared = errors.New("radar: trace writer cannot be shared across concurrent runs")
 	// ErrNoSeeds reports a RunSeeds call with an empty seed list.
 	ErrNoSeeds = errors.New("radar: no seeds")
+	// ErrBadFaultSchedule reports a Config.FaultSchedule that does not
+	// parse or names unknown nodes.
+	ErrBadFaultSchedule = errors.New("radar: bad fault schedule")
 )
 
 // Config configures one simulation run. The zero value is not usable;
@@ -144,6 +148,22 @@ type Config struct {
 	// placement protocol event (migrations, replications, drops,
 	// refusals) for offline analysis.
 	TraceWriter io.Writer
+	// FaultSchedule, when non-empty, enables deterministic fault
+	// injection. Semicolon-separated clauses: "crash:NODE@START[+DOWNTIME]"
+	// crashes a host (omitting the downtime makes it permanent),
+	// "link:A-B@START[+DOWNTIME]" cuts a backbone link, and
+	// "mtbf:DUR; mttr:DUR" (plus "linkmtbf"/"linkmttr") adds stochastic
+	// exponential failure/repair cycles drawn from the run's seed.
+	// Durations use Go syntax ("3m", "90s"). Faults are bit-reproducible:
+	// equal seeds give identical fault timelines, and an empty schedule
+	// leaves the run byte-identical to earlier releases.
+	FaultSchedule string
+	// ReplicaFloor, when > 1, makes the system keep at least that many
+	// replicas per object: the redirector refuses drops below the floor
+	// and hosts re-replicate thinned objects during placement runs (repair
+	// replications, reported separately). Zero or one keeps the paper's
+	// behavior: replicas exist only where demand warrants them.
+	ReplicaFloor int
 }
 
 // DefaultConfig returns the paper's Table 1 configuration under the given
@@ -196,6 +216,18 @@ func (c Config) Validate() error {
 	}
 	if c.SwitchAt < 0 {
 		return fmt.Errorf("radar: negative switch time %v", c.SwitchAt)
+	}
+	if c.ReplicaFloor < 0 {
+		return fmt.Errorf("radar: negative replica floor %d", c.ReplicaFloor)
+	}
+	if c.FaultSchedule != "" {
+		spec, err := fault.ParseSchedule(c.FaultSchedule)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
+		}
+		if err := spec.Validate(substrate.UUNET().Topo.NumNodes()); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
+		}
 	}
 	return nil
 }
@@ -260,6 +292,26 @@ type Summary struct {
 	LoadReplications int64
 	Drops            int64
 	Refusals         int64
+	// Availability metrics, all zero unless fault injection was
+	// configured (Config.FaultSchedule).
+	HostFailures   int64
+	HostRecoveries int64
+	LinkFailures   int64
+	LinkRecoveries int64
+	// FailedRequests counts requests lost to faults: crashed host,
+	// severed path, or no reachable replica.
+	FailedRequests int64
+	// Outages counts windows during which an object had zero live
+	// replicas; UnavailableObjectSeconds integrates their duration.
+	Outages                  int64
+	UnavailableObjectSeconds float64
+	// BelowFloorObjectSeconds integrates time objects spent below
+	// Config.ReplicaFloor.
+	BelowFloorObjectSeconds float64
+	// RepairReplications and RepairByteHops measure the re-replication
+	// work spent restoring the replica floor.
+	RepairReplications int64
+	RepairByteHops     int64
 }
 
 // Result is everything one run produces.
@@ -415,6 +467,14 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 	if cfg.TraceWriter != nil {
 		simCfg.ExtraObserver = trace.NewWriter(cfg.TraceWriter)
 	}
+	if cfg.FaultSchedule != "" {
+		spec, err := fault.ParseSchedule(cfg.FaultSchedule)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
+		}
+		simCfg.Faults = spec
+	}
+	simCfg.Protocol.ReplicaFloor = cfg.ReplicaFloor
 	return &simCfg, nil
 }
 
@@ -465,6 +525,17 @@ func convert(res *sim.Results) *Result {
 			LoadReplications:      res.Counters.LoadReplications,
 			Drops:                 res.Counters.Drops,
 			Refusals:              res.Counters.Refusals,
+
+			HostFailures:             res.Failures,
+			HostRecoveries:           res.Recoveries,
+			LinkFailures:             res.LinkFailures,
+			LinkRecoveries:           res.LinkRecoveries,
+			FailedRequests:           res.FailedRequests,
+			Outages:                  res.Outages,
+			UnavailableObjectSeconds: res.UnavailObjSecs,
+			BelowFloorObjectSeconds:  res.BelowFloorObjSecs,
+			RepairReplications:       res.Counters.RepairReplications,
+			RepairByteHops:           res.RepairByteHops,
 		},
 		Bandwidth:   conv(res.Bandwidth),
 		Latency:     conv(res.Latency),
