@@ -31,6 +31,10 @@ func TestSentinelErrorsMatchable(t *testing.T) {
 		{"unknown switch target", func(c *radar.Config) { c.SwitchTo = "no-such-workload" }, radar.ErrUnknownWorkload},
 		{"unknown policy", func(c *radar.Config) { c.Policy = "no-such-policy" }, radar.ErrUnknownPolicy},
 		{"unknown consistency", func(c *radar.Config) { c.Consistency = "no-such-regime" }, radar.ErrUnknownConsistency},
+		{"bad fault schedule", func(c *radar.Config) { c.FaultSchedule = "drop:1.5" }, radar.ErrBadFaultSchedule},
+		{"negative replica floor", func(c *radar.Config) { c.ReplicaFloor = -1 }, radar.ErrBadReplicaFloor},
+		{"negative ctrl retries", func(c *radar.Config) { c.CtrlRetries = -2 }, radar.ErrBadCtrlRetries},
+		{"negative ctrl timeout", func(c *radar.Config) { c.CtrlTimeout = -time.Second }, radar.ErrBadCtrlTimeout},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -160,6 +164,36 @@ func TestRunSeedsContextCancellation(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("RunSeedsContext did not return after cancellation")
+	}
+}
+
+func TestRunLossyControlPlane(t *testing.T) {
+	cfg := quickCfg(radar.Zipf)
+	cfg.FaultSchedule = "drop:0.2; dup:0.05; cdelay:20ms"
+	cfg.CtrlRetries = 2
+	cfg.CtrlTimeout = 500 * time.Millisecond
+	res, err := radar.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if !s.CtrlEnabled {
+		t.Fatal("message-fault schedule did not arm the control plane")
+	}
+	if s.CtrlRPCAttempts == 0 || s.CtrlRPCRetries == 0 {
+		t.Errorf("no control RPC activity surfaced: %+v", s)
+	}
+	if s.ReconcileRuns == 0 {
+		t.Error("no reconciliation runs surfaced")
+	}
+	// A reliable run keeps every control-plane field zero.
+	clean, err := radar.Run(quickCfg(radar.Zipf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := clean.Summary
+	if cs.CtrlEnabled || cs.CtrlRPCAttempts != 0 || cs.DeferredMoves != 0 || cs.ReconcileRuns != 0 {
+		t.Errorf("reliable run leaked control-plane metrics: %+v", cs)
 	}
 }
 

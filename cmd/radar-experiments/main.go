@@ -37,7 +37,7 @@ func run() error {
 	var (
 		seed        = flag.Int64("seed", 1, "random seed")
 		quick       = flag.Bool("quick", false, "reduced scale (2000 objects, halved durations)")
-		only        = flag.String("only", "all", "what to run: all | figures | figure9 | ablations | multiseed | faults")
+		only        = flag.String("only", "all", "what to run: all | figures | figure9 | ablations | multiseed | faults | ctrl")
 		seeds       = flag.Int("seeds", 3, "number of seeds for -only multiseed")
 		csvDir      = flag.String("csv", "", "directory for per-figure series CSVs")
 		parallelism = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any level")
@@ -114,6 +114,17 @@ func run() error {
 	if *only == "faults" {
 		fmt.Println("== Fault injection ==")
 		tbl, err := experiments.RunFaultScenario(opts)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if *only == "ctrl" {
+		fmt.Println("== Unreliable control plane ==")
+		tbl, err := experiments.RunCtrlScenario(opts)
 		if err != nil {
 			return err
 		}

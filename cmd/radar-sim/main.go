@@ -50,8 +50,10 @@ func run() error {
 		parallelism  = flag.Int("parallelism", 0, "concurrent simulations for -runs (0 = GOMAXPROCS)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file before exit")
-		faults       = flag.String("faults", "", `fault schedule, e.g. "crash:9@3m+5m; link:12-13@10m+2m; mtbf:20m; mttr:2m"`)
+		faults       = flag.String("faults", "", `fault schedule, e.g. "crash:9@3m+5m; drop:0.2; dup:0.05; cdelay:50ms"`)
 		replicaFloor = flag.Int("replica-floor", 0, "minimum replicas kept per object (repair replication; 0/1 = paper behavior)")
+		ctrlRetries  = flag.Int("ctrl-retries", 0, "control-RPC retry budget under message faults (0 = default 3)")
+		ctrlTimeout  = flag.Duration("ctrl-timeout", 0, "per-attempt control-RPC timeout under message faults (0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,8 @@ func run() error {
 	cfg.LinkContention = *contention
 	cfg.FaultSchedule = *faults
 	cfg.ReplicaFloor = *replicaFloor
+	cfg.CtrlRetries = *ctrlRetries
+	cfg.CtrlTimeout = *ctrlTimeout
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {

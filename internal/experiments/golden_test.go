@@ -113,6 +113,22 @@ type runSnapshot struct {
 	BelowFloorObjSecs  float64 `json:"below_floor_object_seconds"`
 	RepairReplications int64   `json:"repair_replications"`
 	RepairByteHops     int64   `json:"repair_byte_hops"`
+
+	CtrlEnabled       bool  `json:"ctrl_enabled"`
+	CtrlAttempts      int64 `json:"ctrl_attempts"`
+	CtrlRetries       int64 `json:"ctrl_retries"`
+	CtrlTimeouts      int64 `json:"ctrl_timeouts"`
+	CtrlLost          int64 `json:"ctrl_lost"`
+	CtrlDroppedLegs   int64 `json:"ctrl_dropped_legs"`
+	CtrlDupLegs       int64 `json:"ctrl_dup_legs"`
+	CtrlNotifiesSent  int64 `json:"ctrl_notifies_sent"`
+	CtrlNotifiesLost  int64 `json:"ctrl_notifies_lost"`
+	DeferredMoves     int64 `json:"deferred_moves"`
+	OrphansHealed     int64 `json:"orphans_healed"`
+	StaleAffinity     int64 `json:"stale_affinity_repaired"`
+	GhostsRemoved     int64 `json:"ghosts_removed"`
+	ReconcileRuns     int64 `json:"reconcile_runs"`
+	ReconcileByteHops int64 `json:"reconcile_byte_hops"`
 }
 
 func snapshot(res *sim.Results) runSnapshot {
@@ -142,6 +158,21 @@ func snapshot(res *sim.Results) runSnapshot {
 		BelowFloorObjSecs:    res.BelowFloorObjSecs,
 		RepairReplications:   res.Counters.RepairReplications,
 		RepairByteHops:       res.RepairByteHops,
+		CtrlEnabled:          res.CtrlEnabled,
+		CtrlAttempts:         res.CtrlStats.Attempts,
+		CtrlRetries:          res.CtrlStats.Retries,
+		CtrlTimeouts:         res.CtrlStats.Timeouts,
+		CtrlLost:             res.CtrlStats.Lost,
+		CtrlDroppedLegs:      res.CtrlStats.DroppedLegs,
+		CtrlDupLegs:          res.CtrlStats.DupLegs,
+		CtrlNotifiesSent:     res.CtrlStats.NotifiesSent,
+		CtrlNotifiesLost:     res.CtrlStats.NotifiesLost,
+		DeferredMoves:        res.Counters.DeferredMoves,
+		OrphansHealed:        res.OrphansHealed,
+		StaleAffinity:        res.StaleAffinityRepaired,
+		GhostsRemoved:        res.GhostsRemoved,
+		ReconcileRuns:        res.ReconcileRuns,
+		ReconcileByteHops:    res.ReconcileByteHops,
 	}
 }
 
@@ -193,6 +224,18 @@ func TestGoldenRunMetrics(t *testing.T) {
 					{Kind: fault.LinkDown, At: 4 * time.Minute, A: 12, B: 13},
 					{Kind: fault.LinkUp, At: 6 * time.Minute, A: 12, B: 13},
 				},
+			}
+			return cfg
+		}},
+		{"zipf_ctrl_lossy", func() sim.Config {
+			cfg := sim.DefaultConfig(gens["zipf"], 1)
+			cfg.Universe = u
+			cfg.Duration = 10 * time.Minute
+			cfg.Protocol.ReplicaFloor = 2
+			cfg.Faults = fault.Spec{
+				MsgDrop:  0.2,
+				MsgDup:   0.1,
+				MsgDelay: 20 * time.Millisecond,
 			}
 			return cfg
 		}},

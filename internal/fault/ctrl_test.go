@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseScheduleMessageFaults(t *testing.T) {
+	spec, err := ParseSchedule("drop:0.2; dup:0.05; cdelay:50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MsgDrop != 0.2 || spec.MsgDup != 0.05 || spec.MsgDelay != 50*time.Millisecond {
+		t.Fatalf("message terms = %v/%v/%v", spec.MsgDrop, spec.MsgDup, spec.MsgDelay)
+	}
+	if !spec.HasMessageFaults() {
+		t.Fatal("spec should arm the control plane")
+	}
+	if spec.Enabled() {
+		t.Fatal("message faults alone must not enable the crash/cut timeline")
+	}
+	if err := spec.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseScheduleMessageFaultZeroIsDisarmed(t *testing.T) {
+	for _, s := range []string{"drop:0", "dup:0", "cdelay:0s", "drop:0; dup:0; cdelay:0ms"} {
+		spec, err := ParseSchedule(s)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", s, err)
+		}
+		if spec.HasMessageFaults() {
+			t.Errorf("ParseSchedule(%q) armed the control plane, want disarmed", s)
+		}
+	}
+}
+
+func TestParseScheduleMessageFaultErrors(t *testing.T) {
+	for _, bad := range []string{
+		"drop:1.5",     // probability above 1
+		"drop:-0.1",    // negative probability
+		"drop:x",       // not a number
+		"drop:NaN",     // NaN is not in [0,1]
+		"dup:2",        // probability above 1
+		"cdelay:-10ms", // negative delay
+		"cdelay:10",    // missing duration unit
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestValidateRejectsBadMessageFaults(t *testing.T) {
+	for _, spec := range []Spec{
+		{MsgDrop: -0.5},
+		{MsgDrop: 1.01},
+		{MsgDup: 7},
+		{MsgDelay: -time.Second},
+	} {
+		if err := spec.Validate(8); err == nil {
+			t.Errorf("Validate(%+v) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestMessageFaultsCombineWithCrashSchedule(t *testing.T) {
+	spec, err := ParseSchedule("crash:3@5m+2m; drop:0.1; mtbf:20m; mttr:2m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Enabled() || !spec.HasMessageFaults() {
+		t.Fatal("combined schedule should enable both fault classes")
+	}
+}

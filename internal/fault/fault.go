@@ -93,11 +93,42 @@ type Spec struct {
 	// backbone edge.
 	LinkMTBF time.Duration
 	LinkMTTR time.Duration
+
+	// Message-fault terms arm the unreliable control plane: when any is
+	// non-zero, every control RPC leg (CreateObj handshakes, redirector
+	// notifications, drop arbitration, reconciliation digests) is routed
+	// through the lossy message layer instead of resolving reliably.
+	// Draws come from a PRNG stream reserved for control messages
+	// (disjoint from both the workload streams and the fault-timeline
+	// stream), so arming them never perturbs request randomness or crash
+	// timelines, and an all-zero set of terms leaves the run bit-identical
+	// to a build without the control-plane subsystem.
+	//
+	// MsgDrop is the probability in [0,1] that a control message leg is
+	// lost in transit (schedule clause "drop:P").
+	MsgDrop float64
+	// MsgDup is the probability in [0,1] that a delivered leg is
+	// duplicated — the copy is charged to the network and absorbed by the
+	// receiver's message-ID dedupe (clause "dup:P").
+	MsgDup float64
+	// MsgDelay adds an extra delay drawn uniformly from [0, MsgDelay] to
+	// every delivered leg, on top of propagation (clause "cdelay:D").
+	// Delays past the per-attempt timeout surface as RPC timeouts.
+	MsgDelay time.Duration
 }
 
-// Enabled reports whether the spec injects anything.
+// Enabled reports whether the spec injects host or link faults. Message
+// faults are reported separately by HasMessageFaults: they arm the
+// control-plane subsystem, not the crash/cut timeline.
 func (s *Spec) Enabled() bool {
 	return len(s.Events) > 0 || s.HostMTBF > 0 || s.LinkMTBF > 0
+}
+
+// HasMessageFaults reports whether the spec arms the unreliable control
+// plane. All-zero message terms (e.g. a bare "drop:0" clause) do not: a
+// zero-probability schedule is byte-equal to no schedule.
+func (s *Spec) HasMessageFaults() bool {
+	return s.MsgDrop > 0 || s.MsgDup > 0 || s.MsgDelay > 0
 }
 
 // HasLinkFaults reports whether the spec can produce link events.
@@ -151,6 +182,15 @@ func (s *Spec) Validate(numNodes int) error {
 	}
 	if s.LinkMTBF > 0 && s.LinkMTTR <= 0 {
 		return fmt.Errorf("fault: link MTBF %v needs a positive MTTR", s.LinkMTBF)
+	}
+	if s.MsgDrop < 0 || s.MsgDrop > 1 {
+		return fmt.Errorf("fault: message drop probability %v must be in [0,1]", s.MsgDrop)
+	}
+	if s.MsgDup < 0 || s.MsgDup > 1 {
+		return fmt.Errorf("fault: message duplication probability %v must be in [0,1]", s.MsgDup)
+	}
+	if s.MsgDelay < 0 {
+		return fmt.Errorf("fault: message delay %v must be non-negative", s.MsgDelay)
 	}
 	return nil
 }

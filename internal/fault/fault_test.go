@@ -166,11 +166,11 @@ func TestTimelineStochasticNeedsRNG(t *testing.T) {
 
 func TestCheckTimelineRejectsBadSequences(t *testing.T) {
 	bad := [][]Event{
-		{{Kind: HostUp, At: time.Minute, Node: 1}},                                            // up while up
-		{{Kind: HostDown, At: 2 * time.Minute, Node: 1}, {Kind: HostDown, At: time.Minute}},   // unsorted
-		{{Kind: LinkDown, At: time.Minute, A: 3, B: 1}},                                       // unnormalized
+		{{Kind: HostUp, At: time.Minute, Node: 1}},                                             // up while up
+		{{Kind: HostDown, At: 2 * time.Minute, Node: 1}, {Kind: HostDown, At: time.Minute}},    // unsorted
+		{{Kind: LinkDown, At: time.Minute, A: 3, B: 1}},                                        // unnormalized
 		{{Kind: HostDown, At: time.Minute, Node: 1}, {Kind: HostDown, At: time.Hour, Node: 1}}, // down while down
-		{{Kind: Kind(9), At: time.Minute}},                                                    // unknown kind
+		{{Kind: Kind(9), At: time.Minute}},                                                     // unknown kind
 	}
 	for i, tl := range bad {
 		if err := CheckTimeline(tl); err == nil {

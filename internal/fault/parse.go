@@ -19,6 +19,13 @@ import (
 //	                              given mean time between failures / to
 //	                              repair (both required together)
 //	linkmtbf:DUR / linkmttr:DUR   the link-failure analogues
+//	drop:P                        lose each control message leg with
+//	                              probability P (arms the unreliable
+//	                              control plane when P > 0)
+//	dup:P                         duplicate each delivered leg with
+//	                              probability P
+//	cdelay:DUR                    delay each delivered leg by an extra
+//	                              uniform [0, DUR]
 //
 // Durations use Go syntax ("90s", "5m", "1h30m"). Whitespace around
 // clauses is ignored; an empty string yields a disabled Spec. Examples:
@@ -26,6 +33,7 @@ import (
 //	crash:7@5m+3m; crash:12@10m
 //	mtbf:20m; mttr:2m
 //	link:7-9@8m+90s; linkmtbf:30m; linkmttr:1m
+//	drop:0.2; dup:0.05; cdelay:50ms
 //
 // Node indices are validated against the topology later (Spec.Validate),
 // and scripted links must name real backbone edges (Spec.Timeline); the
@@ -57,6 +65,12 @@ func ParseSchedule(s string) (Spec, error) {
 			spec.LinkMTBF, err = parsePositiveDuration(rest)
 		case "linkmttr":
 			spec.LinkMTTR, err = parsePositiveDuration(rest)
+		case "drop":
+			spec.MsgDrop, err = parseProbability(rest)
+		case "dup":
+			spec.MsgDup, err = parseProbability(rest)
+		case "cdelay":
+			spec.MsgDelay, err = parseNonNegativeDuration(rest)
 		default:
 			return Spec{}, fmt.Errorf("fault: unknown clause %q", key)
 		}
@@ -176,4 +190,29 @@ func parsePositiveDuration(s string) (time.Duration, error) {
 		return 0, fmt.Errorf("duration %v must be positive", d)
 	}
 	return d, nil
+}
+
+// parseNonNegativeDuration parses a duration that may be zero ("cdelay:0s"
+// is an explicit no-op, like "drop:0").
+func parseNonNegativeDuration(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("duration %v must be non-negative", d)
+	}
+	return d, nil
+}
+
+// parseProbability parses a probability in [0,1].
+func parseProbability(s string) (float64, error) {
+	p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q: %w", s, err)
+	}
+	if p < 0 || p > 1 || p != p {
+		return 0, fmt.Errorf("probability %v must be in [0,1]", p)
+	}
+	return p, nil
 }

@@ -38,6 +38,10 @@ type Counters struct {
 	// FailedRequests counts requests lost to faults: serviced-host crash,
 	// severed forwarding path, or no reachable replica.
 	FailedRequests int64
+	// DeferredMoves counts placement moves deferred to a later placement
+	// interval after the control plane lost their handshake (each
+	// re-deferral counts again; the unreliable-control-plane extension).
+	DeferredMoves int64
 }
 
 // HostLoadSample is one Figure 8b sample: a host's measured load
@@ -225,6 +229,11 @@ func (c *Collector) OnDrop(_ time.Duration, _ object.ID, _ topology.NodeID) {
 // OnRefuse implements protocol.Observer.
 func (c *Collector) OnRefuse(_ time.Duration, _ object.ID, _, _ topology.NodeID, _ protocol.Method) {
 	c.counters.Refusals++
+}
+
+// OnDefer implements protocol.DeferralObserver.
+func (c *Collector) OnDefer(_ time.Duration, _ object.ID, _, _ topology.NodeID, _ protocol.Method) {
+	c.counters.DeferredMoves++
 }
 
 // Counters returns the accumulated protocol counters.

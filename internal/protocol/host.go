@@ -20,8 +20,25 @@ type RedirectorControl interface {
 	ReplicaCount(id object.ID) int
 }
 
-// Env wires a host into its world. All fields except Observer and
-// CanReplicate are required.
+// CreateObjStatus is the caller-visible outcome of a CreateObj handshake.
+type CreateObjStatus int
+
+// CreateObj handshake outcomes.
+const (
+	// CreateAccepted: the peer accepted and the reply arrived.
+	CreateAccepted CreateObjStatus = iota + 1
+	// CreateRefused: the peer refused (watermark, storage, or halt guard).
+	CreateRefused
+	// CreateLost: the control plane exhausted its retry budget without a
+	// confirmed reply. The caller cannot distinguish "request never
+	// arrived" from "accepted, reply lost"; re-issuing with the returned
+	// token is safe (idempotent), and anti-entropy reconciliation heals
+	// any replica the lost exchange did create.
+	CreateLost
+)
+
+// Env wires a host into its world. All fields except Observer,
+// CanReplicate and SendCreateObj are required.
 type Env struct {
 	// Routes answers distance and preference-path queries (the stand-in
 	// for the router databases of a real deployment).
@@ -45,6 +62,15 @@ type Env struct {
 	// a live host below the low watermark not already holding the object.
 	// Required when Params.ReplicaFloor > 1; unused otherwise.
 	FindRepairTarget func(id object.ID, from topology.NodeID) (topology.NodeID, bool)
+	// SendCreateObj, if non-nil, carries CreateObj handshakes over the
+	// unreliable control plane: it delivers the request from -> to as
+	// lossy message legs, runs exec (the callee-side handler, returning
+	// the accept verdict) at most once per token at the request's arrival
+	// time, and reports the outcome, the message token (pass it back to
+	// re-issue a CreateLost exchange with the same identity), and the
+	// caller-side completion time. Nil resolves handshakes inline and
+	// reliably — the paper's instantaneous model.
+	SendCreateObj func(now time.Duration, from, to topology.NodeID, token uint64, exec func(at time.Duration) bool) (CreateObjStatus, uint64, time.Duration)
 	// Observer, if non-nil, receives placement events.
 	Observer Observer
 }
@@ -83,6 +109,13 @@ type Host struct {
 
 	offloading    bool
 	lastPlacement time.Duration
+	// deferred holds placement moves whose CreateObj handshake was lost;
+	// they are re-issued with the same token at the next placement run
+	// (the degradation policy of the unreliable control plane). Nil until
+	// the first loss, so reliable runs never touch it.
+	deferred map[object.ID]deferredMove
+	// deferObs is env.Observer's DeferralObserver side, resolved once.
+	deferObs DeferralObserver
 	// candBuf is the reusable candidate scratch buffer for the placement
 	// pass; its contents are only valid within one candidatesByDistanceDesc
 	// call chain.
@@ -107,6 +140,14 @@ type HostStats struct {
 	// RepairReplications counts replications made to restore objects to the
 	// replica floor after failures (the availability extension).
 	RepairReplications int64
+	// CreateLost counts CreateObj handshakes abandoned after the control
+	// plane's retry budget (unreliable control plane only).
+	CreateLost int64
+	// DeferredMoves counts placement moves deferred to a later placement
+	// interval after a lost handshake (each re-deferral counts again);
+	// DeferredCompleted counts deferred moves that later went through.
+	DeferredMoves     int64
+	DeferredCompleted int64
 	// Refusal breakdown by which guard fired.
 	RefusedHalt    int64 // relocation halt while estimates stay dirty
 	RefusedLW      int64 // accept-side load at or above the low watermark
@@ -135,7 +176,9 @@ func NewHost(id topology.NodeID, params Params, env Env, loads LoadSource) (*Hos
 	if env.Observer == nil {
 		env.Observer = nopObserver{}
 	}
+	deferObs, _ := env.Observer.(DeferralObserver)
 	return &Host{
+		deferObs: deferObs,
 		ID:       id,
 		params:   params,
 		env:      env,
@@ -215,6 +258,7 @@ func (h *Host) OnMeasurementIntervalClose(start time.Duration) {
 func (h *Host) OnCrash() {
 	h.est.Reset()
 	h.offloading = false
+	h.deferred = nil
 	for _, st := range h.objects {
 		st.reset()
 	}
@@ -244,6 +288,10 @@ type PlacementSummary struct {
 	OffloadSent int
 	// Repaired counts replica-floor repair replications made this run.
 	Repaired int
+	// Deferred is the number of placement moves still deferred to the next
+	// placement interval when this run ended (lost handshakes awaiting
+	// same-token retry).
+	Deferred int
 }
 
 // moved reports whether any object was dropped, migrated or replicated.
@@ -276,14 +324,24 @@ func (h *Host) DecidePlacement(now time.Duration) PlacementSummary {
 		h.offloading = false
 	}
 
+	if len(h.deferred) > 0 {
+		h.retryDeferred(now, &sum)
+	}
+
 	if h.params.ReplicaFloor > 1 {
 		sum.Repaired = h.repairReplicas(now)
 	}
 
+	hasDeferred := len(h.deferred) > 0
 	for _, id := range h.Objects() {
 		st, ok := h.objects[id]
 		if !ok {
 			continue // dropped earlier in this run
+		}
+		if hasDeferred {
+			if _, pending := h.deferred[id]; pending {
+				continue // a lost move is still in flight toward its target
+			}
 		}
 		if st.AcquiredAt > prev {
 			continue // acquired mid-window: no full observation yet
@@ -334,7 +392,112 @@ func (h *Host) DecidePlacement(now time.Duration) PlacementSummary {
 	for _, st := range h.objects {
 		st.reset()
 	}
+	sum.Deferred = len(h.deferred)
 	return sum
+}
+
+// createObj performs the CreateObj handshake with peer: inline and
+// reliable when Env.SendCreateObj is nil (the paper's instantaneous
+// model), otherwise as a retried RPC over the lossy control plane. It
+// returns the outcome, the message token (re-issue a CreateLost exchange
+// with it to keep the same identity), and the caller-side completion time
+// (now on the inline path, so downstream bookkeeping is unchanged there).
+func (h *Host) createObj(now time.Duration, peer *Host, method Method, id object.ID, unitLoad float64, srcAff int, token uint64) (CreateObjStatus, uint64, time.Duration) {
+	if h.env.SendCreateObj == nil {
+		if peer.CreateObj(now, method, id, unitLoad, srcAff, h.ID) {
+			return CreateAccepted, 0, now
+		}
+		return CreateRefused, 0, now
+	}
+	status, tok, doneAt := h.env.SendCreateObj(now, h.ID, peer.ID, token, func(at time.Duration) bool {
+		return peer.CreateObj(at, method, id, unitLoad, srcAff, h.ID)
+	})
+	if status == CreateLost {
+		h.Stats.CreateLost++
+	}
+	return status, tok, doneAt
+}
+
+// deferMove records a placement move whose handshake was lost, to be
+// re-issued with the same token at the next placement run.
+func (h *Host) deferMove(now time.Duration, id object.ID, to topology.NodeID, method Method, token uint64) {
+	if h.deferred == nil {
+		h.deferred = make(map[object.ID]deferredMove)
+	}
+	h.deferred[id] = deferredMove{to: to, method: method, token: token}
+	h.Stats.DeferredMoves++
+	if h.deferObs != nil {
+		h.deferObs.OnDefer(now, id, h.ID, to, method)
+	}
+}
+
+// deferredMove is one placement move awaiting same-token retry.
+type deferredMove struct {
+	to     topology.NodeID
+	method Method
+	token  uint64
+}
+
+// DeferredCount returns the number of placement moves currently deferred.
+func (h *Host) DeferredCount() int { return len(h.deferred) }
+
+// retryDeferred re-issues placement moves whose CreateObj was lost in an
+// earlier interval, each with its original message token: if the lost
+// request actually reached its target, the control plane replays the
+// cached verdict instead of running CreateObj again, so a move completes
+// exactly once. Accepted moves perform their source-side effects now (they
+// could not safely run at loss time — the caller did not know whether the
+// replica existed); refusals abandon the deferral; a re-lost exchange is
+// deferred again.
+func (h *Host) retryDeferred(now time.Duration, sum *PlacementSummary) {
+	ids := make([]object.ID, 0, len(h.deferred))
+	for id := range h.deferred {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d := h.deferred[id]
+		st, ok := h.objects[id]
+		if !ok {
+			delete(h.deferred, id) // replica gone meanwhile; nothing to move
+			continue
+		}
+		peer := h.env.Peer(d.to)
+		if peer == nil {
+			continue // target down: hold the deferral for the next interval
+		}
+		objLoad := h.loads.ObjectLoad(id)
+		unitLoad := objLoad / float64(st.Aff)
+		status, tok, doneAt := h.createObj(now, peer, d.method, id, unitLoad, st.Aff, d.token)
+		switch status {
+		case CreateAccepted:
+			delete(h.deferred, id)
+			h.Stats.DeferredCompleted++
+			if d.method == Migrate {
+				h.est.OnShed(doneAt, h.loads.Load(), MigrationSourceMaxDecrease(objLoad, st.Aff))
+				h.reduceAffinity(doneAt, id, st)
+				sum.Migrated++
+				h.Stats.GeoMigrations++
+				h.env.Observer.OnMigrate(doneAt, id, h.ID, d.to, GeoMove)
+			} else {
+				h.est.OnShed(doneAt, h.loads.Load(), ReplicationSourceMaxDecrease(objLoad))
+				sum.Replicated++
+				h.Stats.GeoReplications++
+				h.env.Observer.OnReplicate(doneAt, id, h.ID, d.to, GeoMove)
+			}
+		case CreateRefused:
+			delete(h.deferred, id)
+			h.Stats.RefusalsGot++
+			h.env.Observer.OnRefuse(now, id, h.ID, d.to, d.method)
+		case CreateLost:
+			d.token = tok
+			h.deferred[id] = d
+			h.Stats.DeferredMoves++
+			if h.deferObs != nil {
+				h.deferObs.OnDefer(now, id, h.ID, d.to, d.method)
+			}
+		}
+	}
 }
 
 // repairReplicas restores hosted objects whose recorded replica count fell
@@ -370,14 +533,19 @@ func (h *Host) repairReplicas(now time.Duration) int {
 			}
 			objLoad := h.loads.ObjectLoad(id)
 			unitLoad := objLoad / float64(st.Aff)
-			if !peer.CreateObj(now, Replicate, id, unitLoad, st.Aff, h.ID) {
-				h.Stats.RefusalsGot++
-				h.env.Observer.OnRefuse(now, id, h.ID, target, Replicate)
+			status, _, doneAt := h.createObj(now, peer, Replicate, id, unitLoad, st.Aff, 0)
+			if status != CreateAccepted {
+				if status == CreateRefused {
+					h.Stats.RefusalsGot++
+					h.env.Observer.OnRefuse(now, id, h.ID, target, Replicate)
+				}
+				// A lost repair handshake is retried by the next repair
+				// pass; reconciliation heals any replica it did create.
 				break
 			}
-			h.est.OnShed(now, h.loads.Load(), ReplicationSourceMaxDecrease(objLoad))
+			h.est.OnShed(doneAt, h.loads.Load(), ReplicationSourceMaxDecrease(objLoad))
 			h.Stats.RepairReplications++
-			h.env.Observer.OnReplicate(now, id, h.ID, target, RepairMove)
+			h.env.Observer.OnReplicate(doneAt, id, h.ID, target, RepairMove)
 			repaired++
 			count = red.ReplicaCount(id)
 		}
@@ -420,13 +588,20 @@ func (h *Host) tryGeoMigrate(now time.Duration, id object.ID, st *ObjectState) (
 		if peer == nil {
 			continue
 		}
-		if peer.CreateObj(now, Migrate, id, unitLoad, st.Aff, h.ID) {
-			h.est.OnShed(now, h.loads.Load(), MigrationSourceMaxDecrease(h.loads.ObjectLoad(id), st.Aff))
-			h.reduceAffinity(now, id, st)
+		switch status, tok, doneAt := h.createObj(now, peer, Migrate, id, unitLoad, st.Aff, 0); status {
+		case CreateAccepted:
+			h.est.OnShed(doneAt, h.loads.Load(), MigrationSourceMaxDecrease(h.loads.ObjectLoad(id), st.Aff))
+			h.reduceAffinity(doneAt, id, st)
 			return p, true
+		case CreateLost:
+			// The exchange may have landed; trying the next candidate could
+			// double-place. Defer this exact move to the next interval.
+			h.deferMove(now, id, p, Migrate, tok)
+			return 0, false
+		default:
+			h.Stats.RefusalsGot++
+			h.env.Observer.OnRefuse(now, id, h.ID, p, Migrate)
 		}
-		h.Stats.RefusalsGot++
-		h.env.Observer.OnRefuse(now, id, h.ID, p, Migrate)
 	}
 	return 0, false
 }
@@ -450,12 +625,17 @@ func (h *Host) tryGeoReplicate(now time.Duration, id object.ID, st *ObjectState)
 		if peer == nil {
 			continue
 		}
-		if peer.CreateObj(now, Replicate, id, unitLoad, st.Aff, h.ID) {
-			h.est.OnShed(now, h.loads.Load(), ReplicationSourceMaxDecrease(h.loads.ObjectLoad(id)))
+		switch status, tok, doneAt := h.createObj(now, peer, Replicate, id, unitLoad, st.Aff, 0); status {
+		case CreateAccepted:
+			h.est.OnShed(doneAt, h.loads.Load(), ReplicationSourceMaxDecrease(h.loads.ObjectLoad(id)))
 			return p, true
+		case CreateLost:
+			h.deferMove(now, id, p, Replicate, tok)
+			return 0, false
+		default:
+			h.Stats.RefusalsGot++
+			h.env.Observer.OnRefuse(now, id, h.ID, p, Replicate)
 		}
-		h.Stats.RefusalsGot++
-		h.env.Observer.OnRefuse(now, id, h.ID, p, Replicate)
 	}
 	return 0, false
 }
@@ -610,16 +790,22 @@ func (h *Host) offload(now time.Duration, period float64) int {
 		objLoad := h.loads.ObjectLoad(c.id)
 		unitLoad := objLoad / float64(st.Aff)
 		if st.unitAccess(h.ID, period) <= h.params.ReplicationThreshold {
-			if !peer.CreateObj(now, Migrate, c.id, unitLoad, st.Aff, h.ID) {
-				h.Stats.RefusalsGot++
-				h.env.Observer.OnRefuse(now, c.id, h.ID, rid, Migrate)
+			status, _, doneAt := h.createObj(now, peer, Migrate, c.id, unitLoad, st.Aff, 0)
+			if status != CreateAccepted {
+				if status == CreateRefused {
+					h.Stats.RefusalsGot++
+					h.env.Observer.OnRefuse(now, c.id, h.ID, rid, Migrate)
+				}
+				// Lost or refused: stop shedding to this recipient — load
+				// moves are re-decided from fresh estimates next run, so no
+				// deferral is needed.
 				break
 			}
-			h.est.OnShed(now, h.loads.Load(), MigrationSourceMaxDecrease(objLoad, st.Aff))
+			h.est.OnShed(doneAt, h.loads.Load(), MigrationSourceMaxDecrease(objLoad, st.Aff))
 			recipientLoad += MigrationTargetMaxIncrease(objLoad, st.Aff)
-			h.reduceAffinity(now, c.id, st)
+			h.reduceAffinity(doneAt, c.id, st)
 			h.Stats.LoadMigrations++
-			h.env.Observer.OnMigrate(now, c.id, h.ID, rid, LoadMove)
+			h.env.Observer.OnMigrate(doneAt, c.id, h.ID, rid, LoadMove)
 		} else {
 			// Hot objects are only ever replicated during offload (a load
 			// migration could undo a previous geo-replication), so when
@@ -627,15 +813,18 @@ func (h *Host) offload(now time.Duration, period float64) int {
 			if h.env.CanReplicate != nil && !h.env.CanReplicate(c.id, h.env.RedirectorFor(c.id).ReplicaCount(c.id)) {
 				continue
 			}
-			if !peer.CreateObj(now, Replicate, c.id, unitLoad, st.Aff, h.ID) {
-				h.Stats.RefusalsGot++
-				h.env.Observer.OnRefuse(now, c.id, h.ID, rid, Replicate)
+			status, _, doneAt := h.createObj(now, peer, Replicate, c.id, unitLoad, st.Aff, 0)
+			if status != CreateAccepted {
+				if status == CreateRefused {
+					h.Stats.RefusalsGot++
+					h.env.Observer.OnRefuse(now, c.id, h.ID, rid, Replicate)
+				}
 				break
 			}
-			h.est.OnShed(now, h.loads.Load(), ReplicationSourceMaxDecrease(objLoad))
+			h.est.OnShed(doneAt, h.loads.Load(), ReplicationSourceMaxDecrease(objLoad))
 			recipientLoad += ReplicationTargetMaxIncrease(objLoad, st.Aff)
 			h.Stats.LoadReplications++
-			h.env.Observer.OnReplicate(now, c.id, h.ID, rid, LoadMove)
+			h.env.Observer.OnReplicate(doneAt, c.id, h.ID, rid, LoadMove)
 		}
 		moved++
 	}

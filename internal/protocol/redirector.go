@@ -351,6 +351,44 @@ func (r *Redirector) RequestDrop(id object.ID, host topology.NodeID) bool {
 	return false
 }
 
+// RecordedAffinity returns the recorded affinity of id's replica on host
+// and whether such a record exists. It is the anti-entropy digest probe:
+// reconciliation compares it against the host's actual replica state to
+// find orphans (live but unrecorded) and stale affinities left by lost
+// notifications.
+func (r *Redirector) RecordedAffinity(id object.ID, host topology.NodeID) (int, bool) {
+	e := r.lookup(id)
+	if e == nil {
+		return 0, false
+	}
+	for i := range e.replicas {
+		if e.replicas[i].Host == host {
+			return e.replicas[i].Aff, true
+		}
+	}
+	return 0, false
+}
+
+// RemoveRecord unconditionally deletes the replica record of id on host,
+// reporting whether a record existed. Unlike RequestDrop there is no
+// last-copy or floor arbitration: this is the anti-entropy path for
+// erasing ghost records of replicas the host no longer holds, where
+// keeping the record would route requests to a missing copy.
+func (r *Redirector) RemoveRecord(id object.ID, host topology.NodeID) bool {
+	e := r.lookup(id)
+	if e == nil {
+		return false
+	}
+	for i := range e.replicas {
+		if e.replicas[i].Host == host {
+			e.replicas = append(e.replicas[:i], e.replicas[i+1:]...)
+			e.resetCounts()
+			return true
+		}
+	}
+	return false
+}
+
 // PurgeHost removes every replica recorded on the given host — the
 // control-plane reaction to a host failure. Unlike RequestDrop it may
 // leave an object with no replicas (the object is then unavailable until

@@ -137,6 +137,18 @@ type Observer interface {
 	OnRefuse(now time.Duration, id object.ID, from, to topology.NodeID, method Method)
 }
 
+// DeferralObserver is an optional Observer extension: observers that also
+// implement it receive deferral events from the unreliable control plane's
+// degradation policy (a placement move whose CreateObj handshake exhausted
+// its retry budget is deferred to the next placement interval rather than
+// silently dropped). Kept separate from Observer so existing observers —
+// trace writers, test recorders — keep compiling unchanged.
+type DeferralObserver interface {
+	// OnDefer fires when from deferred a placement move of id to `to`
+	// because the control plane lost the handshake.
+	OnDefer(now time.Duration, id object.ID, from, to topology.NodeID, method Method)
+}
+
 // nopObserver is used when no observer is wired.
 type nopObserver struct{}
 

@@ -179,5 +179,20 @@ func Summary(res *sim.Results) *Table {
 		t.AddRow("repair replications", strconv.FormatInt(c.RepairReplications, 10))
 		t.AddRow("repair traffic (byte-hops)", strconv.FormatInt(res.RepairByteHops, 10))
 	}
+	// Control-plane section, only when message faults armed the unreliable
+	// control plane: reliable-run renders stay byte-identical.
+	if res.CtrlEnabled {
+		st := res.CtrlStats
+		t.AddRow("ctrl RPC attempts / retries", fmt.Sprintf("%d / %d", st.Attempts, st.Retries))
+		t.AddRow("ctrl RPC timeouts / lost", fmt.Sprintf("%d / %d", st.Timeouts, st.Lost))
+		t.AddRow("ctrl legs dropped / duplicated", fmt.Sprintf("%d / %d", st.DroppedLegs, st.DupLegs))
+		t.AddRow("ctrl notifies sent / lost", fmt.Sprintf("%d / %d", st.NotifiesSent, st.NotifiesLost))
+		t.AddRow("placement moves deferred", strconv.FormatInt(c.DeferredMoves, 10))
+		t.AddRow("orphan replicas healed", strconv.FormatInt(res.OrphansHealed, 10))
+		t.AddRow("stale affinities repaired", strconv.FormatInt(res.StaleAffinityRepaired, 10))
+		t.AddRow("ghost records removed", strconv.FormatInt(res.GhostsRemoved, 10))
+		t.AddRow("reconcile runs", strconv.FormatInt(res.ReconcileRuns, 10))
+		t.AddRow("reconcile traffic (byte-hops)", strconv.FormatInt(res.ReconcileByteHops, 10))
+	}
 	return t
 }

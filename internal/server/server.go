@@ -53,7 +53,7 @@ type Server struct {
 	// increment, and CloseInterval only walks objects actually served.
 	intervalStart time.Duration
 	served        int64
-	servedPerObj  []int32     // indexed by object.ID, grown on demand;
+	servedPerObj  []int32 // indexed by object.ID, grown on demand;
 	// int32 is ample for one measurement interval and keeps the dense
 	// per-object counter block cache-resident
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"radar/internal/consistency"
+	"radar/internal/ctrlplane"
 	"radar/internal/fault"
 	"radar/internal/object"
 	"radar/internal/protocol"
@@ -107,6 +108,11 @@ type Config struct {
 	// zero value disables injection and leaves the run bit-identical to a
 	// build without the fault subsystem.
 	Faults fault.Spec
+	// Ctrl tunes the unreliable control plane's RPC retry behavior and
+	// reconciliation cadence. Only consulted when Faults carries message-
+	// fault terms (drop/dup/cdelay); the zero value selects the documented
+	// ctrlplane defaults.
+	Ctrl ctrlplane.Params
 	// ExtraObserver, when non-nil, receives every placement protocol
 	// event in addition to the metrics collector — e.g. a trace.Writer.
 	ExtraObserver protocol.Observer
@@ -207,6 +213,9 @@ func (c *Config) Validate() error {
 	}
 	if c.ControlMsgBytes < 0 {
 		return fmt.Errorf("sim: control message size %v must be non-negative", c.ControlMsgBytes)
+	}
+	if err := c.Ctrl.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	if c.ClientTimeout < 0 {
 		return fmt.Errorf("sim: client timeout %v must be non-negative", c.ClientTimeout)

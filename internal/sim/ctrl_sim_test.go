@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"radar/internal/fault"
+	"radar/internal/workload"
+)
+
+// lossyConfig builds a Zipf run with message faults armed.
+func lossyConfig(t *testing.T, dur time.Duration, seed int64, drop float64) Config {
+	t.Helper()
+	gen, err := workload.NewZipf(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(gen, seed)
+	cfg.Universe = testUniverse
+	cfg.Duration = dur
+	cfg.Protocol.ReplicaFloor = 2
+	cfg.Faults = fault.Spec{MsgDrop: drop, MsgDup: 0.05, MsgDelay: 20 * time.Millisecond}
+	return cfg
+}
+
+// TestPropertyCtrlZeroTermsBitIdentical: a fault spec whose message-fault
+// terms are all zero (the parse of "drop:0") must not arm the control
+// plane — the run stays byte-identical to one with no schedule at all.
+// This is the subsystem's pay-for-what-you-use contract.
+func TestPropertyCtrlZeroTermsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration runs")
+	}
+	gen, err := workload.NewZipf(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testConfig(t, gen, 8*time.Minute)
+	clean := mustRun(t, base)
+
+	spec, err := fault.ParseSchedule("drop:0; dup:0; cdelay:0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed := testConfig(t, gen, 8*time.Minute)
+	zeroed.Faults = spec
+	zres := mustRun(t, zeroed)
+
+	if zres.CtrlEnabled || clean.CtrlEnabled {
+		t.Fatalf("CtrlEnabled = %v/%v, want false/false", zres.CtrlEnabled, clean.CtrlEnabled)
+	}
+	if clean.TotalServed != zres.TotalServed ||
+		clean.Counters != zres.Counters ||
+		clean.BandwidthStats != zres.BandwidthStats ||
+		clean.LatencyStats != zres.LatencyStats ||
+		clean.AvgReplicas != zres.AvgReplicas ||
+		zres.CtrlStats != clean.CtrlStats ||
+		zres.Counters.DeferredMoves != 0 {
+		t.Errorf("zero-valued message-fault terms perturbed the run:\nclean %+v\nzeroed %+v", clean, zres)
+	}
+}
+
+// TestPropertyCtrlInvariantAtReconcileBoundaries is the tentpole's safety
+// property: under any message drop rate, the redirector invariant
+// (recorded replica set ⊆ live replicas with matching affinities) holds at
+// every reconciliation boundary. Mid-interval a lost decrement-notify may
+// leave a stale recorded affinity, but each anti-entropy pass must fully
+// heal the divergence — probes run 1ns after every pass and at the end.
+func TestPropertyCtrlInvariantAtReconcileBoundaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration runs")
+	}
+	for _, drop := range []float64{0.05, 0.2, 0.5, 0.9} {
+		cfg := lossyConfig(t, 10*time.Minute, 5, drop)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ctrl == nil {
+			t.Fatalf("drop %v: control plane not armed", drop)
+		}
+		// Probes fire one nanosecond after each reconcile tick; the tick and
+		// same-timestamp placement runs execute first (scheduled earlier), so
+		// the probe observes the post-reconciliation state.
+		interval := s.ctrl.plane.Params().ReconcileInterval
+		var probeErr error
+		probes := 0
+		for at := interval + time.Nanosecond; at <= cfg.Duration; at += interval {
+			if err := s.engine.Schedule(at, func(time.Duration) {
+				probes++
+				if e := s.CheckInvariants(); e != nil && probeErr == nil {
+					probeErr = e
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probes == 0 {
+			t.Fatalf("drop %v: no reconcile-boundary probes fired", drop)
+		}
+		if probeErr != nil {
+			t.Errorf("drop %v: invariant violated after a reconciliation pass: %v", drop, probeErr)
+		}
+		if res.InvariantsError != nil {
+			t.Errorf("drop %v: final invariants: %v", drop, res.InvariantsError)
+		}
+		if !res.CtrlEnabled {
+			t.Errorf("drop %v: results not flagged CtrlEnabled", drop)
+		}
+	}
+}
+
+// TestPropertyLossyRunDeterminism: a lossy-control-plane run is
+// bit-identical across repeats for a fixed seed — message faults draw from
+// their own reserved stream and must preserve the reproducibility contract.
+func TestPropertyLossyRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration runs")
+	}
+	run := func() *Results {
+		return mustRun(t, lossyConfig(t, 10*time.Minute, 3, 0.2))
+	}
+	a, b := run(), run()
+	if a.TotalServed != b.TotalServed ||
+		a.CtrlStats != b.CtrlStats ||
+		a.OrphansHealed != b.OrphansHealed ||
+		a.StaleAffinityRepaired != b.StaleAffinityRepaired ||
+		a.GhostsRemoved != b.GhostsRemoved ||
+		a.ReconcileByteHops != b.ReconcileByteHops ||
+		a.Counters != b.Counters ||
+		a.BandwidthStats != b.BandwidthStats ||
+		a.LatencyStats != b.LatencyStats {
+		t.Errorf("lossy runs with equal seeds diverge:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestCtrlLossAccountingConsistent exercises a heavily lossy run and pins
+// the bookkeeping relations: lost handshakes defer placement moves (never
+// silently drop them), deferred completions cannot exceed deferrals, the
+// per-host counters agree with the collector's, and reconciliation both
+// runs and heals.
+func TestCtrlLossAccountingConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	cfg := lossyConfig(t, 10*time.Minute, 42, 0.2)
+	cfg.Faults.MsgDup = 0.1
+	res := mustRun(t, cfg)
+
+	st := res.CtrlStats
+	if st.Attempts == 0 || st.Retries == 0 || st.Timeouts == 0 || st.DroppedLegs == 0 || st.DupLegs == 0 {
+		t.Fatalf("drop 0.2 produced no control-plane activity: %+v", st)
+	}
+	if st.Lost == 0 || st.NotifiesLost == 0 {
+		t.Fatalf("drop 0.2 lost no RPCs/notifies: %+v", st)
+	}
+	var hostDeferred, hostCompleted, hostLost int64
+	for _, hs := range res.HostStats {
+		hostDeferred += hs.DeferredMoves
+		hostCompleted += hs.DeferredCompleted
+		hostLost += hs.CreateLost
+	}
+	if hostDeferred != res.Counters.DeferredMoves {
+		t.Errorf("host deferral counters %d disagree with collector %d", hostDeferred, res.Counters.DeferredMoves)
+	}
+	if hostCompleted > hostDeferred {
+		t.Errorf("%d deferred completions exceed %d deferrals", hostCompleted, hostDeferred)
+	}
+	if hostLost < hostDeferred {
+		t.Errorf("%d deferrals exceed %d lost handshakes (every deferral needs a loss)", hostDeferred, hostLost)
+	}
+	if res.ReconcileRuns == 0 {
+		t.Error("no reconciliation passes in a 10-minute run")
+	}
+	if st.NotifiesLost > 0 && res.OrphansHealed == 0 {
+		t.Errorf("%d notifies lost but no orphans healed", st.NotifiesLost)
+	}
+	if res.ReconcileByteHops <= 0 {
+		t.Errorf("reconciliation charged no digest traffic: %d", res.ReconcileByteHops)
+	}
+}

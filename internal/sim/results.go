@@ -3,6 +3,7 @@ package sim
 import (
 	"time"
 
+	"radar/internal/ctrlplane"
 	"radar/internal/metrics"
 	"radar/internal/protocol"
 	"radar/internal/topology"
@@ -93,6 +94,25 @@ type Results struct {
 	// RepairByteHops is the re-replication traffic spent restoring the
 	// replica floor, in byte×hops.
 	RepairByteHops int64
+
+	// Unreliable control plane (message faults). CtrlEnabled records
+	// whether drop/dup/cdelay terms armed the plane; when false every field
+	// below is zero and reports omit the control-plane section, keeping
+	// reliable-run output byte-identical to earlier builds.
+	CtrlEnabled bool
+	// CtrlStats snapshots the plane's RPC and notification counters.
+	CtrlStats ctrlplane.Stats
+	// OrphansHealed counts replicas re-registered by reconciliation after
+	// their create-notify was lost; StaleAffinityRepaired counts recorded
+	// affinities corrected; GhostsRemoved counts records erased for
+	// replicas their host no longer held.
+	OrphansHealed         int64
+	StaleAffinityRepaired int64
+	GhostsRemoved         int64
+	// ReconcileRuns counts anti-entropy passes (including the final pass at
+	// the horizon); ReconcileByteHops is their digest traffic in byte×hops.
+	ReconcileRuns     int64
+	ReconcileByteHops int64
 
 	Counters  metrics.Counters
 	HostStats []protocol.HostStats

@@ -46,6 +46,11 @@ type Simulation struct {
 	failures   int64
 	recoveries int64
 
+	// ctrl is the armed unreliable control plane; nil unless the fault
+	// spec carries message-fault terms, so reliable runs keep the exact
+	// inline control paths (bit-identical output).
+	ctrl *ctrlState
+
 	// Fault-injection state. haveLinkFaults arms the per-request severed-
 	// path checks; it stays false in fault-free runs so the hot path is
 	// bit-identical to a build without the fault subsystem.
@@ -100,6 +105,9 @@ func New(cfg Config) (*Simulation, error) {
 		for _, red := range s.redirectors {
 			red.SetReplicaFloor(f)
 		}
+	}
+	if err := s.armCtrlPlane(); err != nil {
+		return nil, err
 	}
 	if err := s.buildHosts(); err != nil {
 		return nil, err
@@ -199,6 +207,9 @@ func (s *Simulation) buildHosts() error {
 		env := protocol.Env{
 			Routes: s.routes,
 			RedirectorFor: func(id object.ID) protocol.RedirectorControl {
+				if s.ctrl != nil {
+					return s.lossyRedirectorFor(id)
+				}
 				return s.redirectorFor(id)
 			},
 			Peer: func(p topology.NodeID) *protocol.Host {
@@ -212,6 +223,9 @@ func (s *Simulation) buildHosts() error {
 			CanReplicate:     canReplicate,
 			FindRepairTarget: s.findRepairTarget,
 			Observer:         obs,
+		}
+		if s.ctrl != nil {
+			env.SendCreateObj = s.sendCreateObj
 		}
 		h, err := protocol.NewHost(topology.NodeID(i), s.cfg.Protocol.Weighted(weight), env, srv)
 		if err != nil {
@@ -316,14 +330,19 @@ func (s *Simulation) chargeNotify(now time.Duration, from topology.NodeID, id ob
 
 // chargingObserver forwards protocol events to the metrics collector and
 // charges the associated control traffic; it also keeps the consistency
-// manager's primary tracking current.
+// manager's primary tracking current. When the unreliable control plane is
+// armed the handshake/notify charges are skipped: the plane already
+// charged every message leg (including retries and duplicates) at its true
+// send time, so charging here would double-count.
 type chargingObserver struct {
 	s *Simulation
 }
 
 func (o *chargingObserver) OnMigrate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
-	o.s.chargeHandshake(now, from, to)
-	o.s.chargeNotify(now, to, id)
+	if o.s.ctrl == nil {
+		o.s.chargeHandshake(now, from, to)
+		o.s.chargeNotify(now, to, id)
+	}
 	if o.s.cfg.Consistency != nil {
 		o.s.cfg.Consistency.OnMigrate(id, from, to)
 	}
@@ -334,8 +353,10 @@ func (o *chargingObserver) OnMigrate(now time.Duration, id object.ID, from, to t
 }
 
 func (o *chargingObserver) OnReplicate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
-	o.s.chargeHandshake(now, from, to)
-	o.s.chargeNotify(now, to, id)
+	if o.s.ctrl == nil {
+		o.s.chargeHandshake(now, from, to)
+		o.s.chargeNotify(now, to, id)
+	}
 	if kind == protocol.RepairMove {
 		// Re-replication traffic: the repair copy's bytes over its path.
 		o.s.repairByteHops += int64(o.s.cfg.Universe.SizeBytes) * int64(o.s.routes.Distance(from, to))
@@ -347,7 +368,9 @@ func (o *chargingObserver) OnReplicate(now time.Duration, id object.ID, from, to
 }
 
 func (o *chargingObserver) OnDrop(now time.Duration, id object.ID, host topology.NodeID) {
-	o.s.chargeNotify(now, host, id)
+	if o.s.ctrl == nil {
+		o.s.chargeNotify(now, host, id)
+	}
 	if o.s.cfg.Consistency != nil {
 		reps := o.s.redirectorFor(id).Replicas(id)
 		if len(reps) > 0 {
@@ -361,10 +384,19 @@ func (o *chargingObserver) OnDrop(now time.Duration, id object.ID, host topology
 }
 
 func (o *chargingObserver) OnRefuse(now time.Duration, id object.ID, from, to topology.NodeID, method protocol.Method) {
-	o.s.chargeHandshake(now, from, to)
+	if o.s.ctrl == nil {
+		o.s.chargeHandshake(now, from, to)
+	}
 	o.s.col.OnRefuse(now, id, from, to, method)
 	if o.s.cfg.ExtraObserver != nil {
 		o.s.cfg.ExtraObserver.OnRefuse(now, id, from, to, method)
+	}
+}
+
+func (o *chargingObserver) OnDefer(now time.Duration, id object.ID, from, to topology.NodeID, method protocol.Method) {
+	o.s.col.OnDefer(now, id, from, to, method)
+	if d, ok := o.s.cfg.ExtraObserver.(protocol.DeferralObserver); ok {
+		d.OnDefer(now, id, from, to, method)
 	}
 }
 
@@ -404,6 +436,9 @@ func (s *Simulation) RunContext(ctx context.Context) (*Results, error) {
 		return nil, err
 	}
 	if err := s.scheduleFaults(); err != nil {
+		return nil, err
+	}
+	if err := s.scheduleReconcile(); err != nil {
 		return nil, err
 	}
 	if sw := s.cfg.WorkloadSwitch; sw.To != nil {
@@ -642,6 +677,12 @@ func (s *Simulation) trimSeries(points []metrics.Point) []metrics.Point {
 
 // results assembles the run's outputs.
 func (s *Simulation) results() *Results {
+	// A final anti-entropy pass closes the run: any orphan or stale record
+	// left by notifications lost since the last tick is healed before the
+	// invariant check, mirroring what the next periodic pass would do.
+	if s.ctrl != nil {
+		s.reconcile(s.cfg.Duration)
+	}
 	// Close outage windows still open at the horizon so object-seconds of
 	// unavailability are complete. Map order does not matter: windows only
 	// accumulate into order-independent sums.
@@ -689,6 +730,15 @@ func (s *Simulation) results() *Results {
 	}
 	for i, h := range s.hosts {
 		r.HostStats[i] = h.Stats
+	}
+	if s.ctrl != nil {
+		r.CtrlEnabled = true
+		r.CtrlStats = s.ctrl.plane.Stats()
+		r.OrphansHealed = s.ctrl.orphansHealed
+		r.StaleAffinityRepaired = s.ctrl.staleAffinity
+		r.GhostsRemoved = s.ctrl.ghostsRemoved
+		r.ReconcileRuns = s.ctrl.reconcileRuns
+		r.ReconcileByteHops = s.ctrl.reconcileByteHops
 	}
 	r.BandwidthStats = metrics.Summarize(r.Bandwidth, 2)
 	r.LatencyStats = metrics.Summarize(r.Latency, 2)

@@ -185,6 +185,38 @@ func (nw *Network) ControlMessage(now time.Duration, path []topology.NodeID, byt
 	return now + time.Duration(hops)*nw.cfg.HopDelay
 }
 
+// ControlMessageTo charges a control message along path like
+// ControlMessage, but respects link cuts: hops are charged in order until
+// the first down link, where the message is lost (ok=false, arrival at the
+// stranded node). With every hop up it behaves exactly like ControlMessage
+// with ok=true. Used by the unreliable control plane, where a severed path
+// consumes bandwidth up to the partition boundary instead of silently
+// succeeding across it.
+func (nw *Network) ControlMessageTo(now time.Duration, path []topology.NodeID, bytes int64) (arrival time.Duration, ok bool) {
+	hops := len(path) - 1
+	if hops <= 0 {
+		return now, true
+	}
+	if nw.linkDown == nil || nw.downLinks == 0 {
+		return nw.ControlMessage(now, path, bytes), true
+	}
+	t := now
+	sent := 0
+	for i := 0; i < hops; i++ {
+		li := int(path[i])*nw.n + int(path[i+1])
+		if nw.linkDown[li] {
+			break
+		}
+		nw.linkBytes[li] += bytes
+		t += nw.cfg.HopDelay
+		sent++
+	}
+	if sent > 0 {
+		nw.account(now, Overhead, bytes, sent)
+	}
+	return t, sent == hops
+}
+
 func (nw *Network) account(now time.Duration, class Class, bytes int64, hops int) {
 	bh := bytes * int64(hops)
 	switch class {

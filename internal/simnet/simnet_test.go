@@ -292,3 +292,52 @@ func TestLinkDownLifecycle(t *testing.T) {
 		t.Error("path still down after restore (counter fast path broken)")
 	}
 }
+
+func TestControlMessageToMatchesControlMessageWhenUp(t *testing.T) {
+	cfg := Config{HopDelay: 10 * time.Millisecond, LinkBandwidthBps: 1000}
+	a, _ := New(cfg, 5, nil)
+	b, _ := New(cfg, 5, nil)
+	wantAt := a.ControlMessage(time.Second, path(0, 1, 2), 200)
+	gotAt, ok := b.ControlMessageTo(time.Second, path(0, 1, 2), 200)
+	if !ok || gotAt != wantAt {
+		t.Fatalf("ControlMessageTo = (%v, %v), want (%v, true)", gotAt, ok, wantAt)
+	}
+	if a.OverheadByteHops() != b.OverheadByteHops() {
+		t.Fatalf("byte-hops diverge: %d vs %d", a.OverheadByteHops(), b.OverheadByteHops())
+	}
+	if a.LinkBytes(1, 2) != b.LinkBytes(1, 2) {
+		t.Fatalf("link bytes diverge")
+	}
+}
+
+func TestControlMessageToStopsAtDownLink(t *testing.T) {
+	cfg := Config{HopDelay: 10 * time.Millisecond, LinkBandwidthBps: 1000}
+	nw, _ := New(cfg, 5, nil)
+	nw.SetLinkDown(1, 2, true)
+	at, ok := nw.ControlMessageTo(time.Second, path(0, 1, 2, 3), 200)
+	if ok {
+		t.Fatal("message crossed a down link")
+	}
+	// One hop (0->1) charged, then stranded at node 1.
+	if want := time.Second + 10*time.Millisecond; at != want {
+		t.Fatalf("stranded arrival = %v, want %v", at, want)
+	}
+	if got := nw.OverheadByteHops(); got != 200 {
+		t.Fatalf("overhead byte-hops = %d, want 200 (partial charge)", got)
+	}
+	if got := nw.LinkBytes(1, 2); got != 0 {
+		t.Fatalf("bytes on the cut link = %d, want 0", got)
+	}
+	// Lost at the first hop: nothing charged at all.
+	nw2, _ := New(cfg, 5, nil)
+	nw2.SetLinkDown(0, 1, true)
+	at, ok = nw2.ControlMessageTo(time.Second, path(0, 1, 2), 200)
+	if ok || at != time.Second || nw2.OverheadByteHops() != 0 {
+		t.Fatalf("first-hop cut: (%v, %v, %d B·h), want (1s, false, 0)", at, ok, nw2.OverheadByteHops())
+	}
+	// Restoring the link restores full delivery.
+	nw.SetLinkDown(1, 2, false)
+	if _, ok := nw.ControlMessageTo(0, path(0, 1, 2, 3), 200); !ok {
+		t.Fatal("restored path should deliver")
+	}
+}

@@ -107,6 +107,12 @@ var (
 	// ErrBadFaultSchedule reports a Config.FaultSchedule that does not
 	// parse or names unknown nodes.
 	ErrBadFaultSchedule = errors.New("radar: bad fault schedule")
+	// ErrBadReplicaFloor reports a negative Config.ReplicaFloor.
+	ErrBadReplicaFloor = errors.New("radar: bad replica floor")
+	// ErrBadCtrlRetries reports a negative Config.CtrlRetries.
+	ErrBadCtrlRetries = errors.New("radar: bad control-plane retry budget")
+	// ErrBadCtrlTimeout reports a negative Config.CtrlTimeout.
+	ErrBadCtrlTimeout = errors.New("radar: bad control-plane timeout")
 )
 
 // Config configures one simulation run. The zero value is not usable;
@@ -164,6 +170,13 @@ type Config struct {
 	// replications, reported separately). Zero or one keeps the paper's
 	// behavior: replicas exist only where demand warrants them.
 	ReplicaFloor int
+	// CtrlRetries overrides the unreliable control plane's RPC retry
+	// budget (attempts = 1 + retries); CtrlTimeout overrides its
+	// per-attempt timeout. Both only matter when FaultSchedule carries
+	// message-fault clauses (drop/dup/cdelay); zero keeps the defaults
+	// (3 retries, 1s).
+	CtrlRetries int
+	CtrlTimeout time.Duration
 }
 
 // DefaultConfig returns the paper's Table 1 configuration under the given
@@ -218,7 +231,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("radar: negative switch time %v", c.SwitchAt)
 	}
 	if c.ReplicaFloor < 0 {
-		return fmt.Errorf("radar: negative replica floor %d", c.ReplicaFloor)
+		return fmt.Errorf("%w: %d is negative", ErrBadReplicaFloor, c.ReplicaFloor)
+	}
+	if c.CtrlRetries < 0 {
+		return fmt.Errorf("%w: %d is negative", ErrBadCtrlRetries, c.CtrlRetries)
+	}
+	if c.CtrlTimeout < 0 {
+		return fmt.Errorf("%w: %v is negative", ErrBadCtrlTimeout, c.CtrlTimeout)
 	}
 	if c.FaultSchedule != "" {
 		spec, err := fault.ParseSchedule(c.FaultSchedule)
@@ -312,6 +331,26 @@ type Summary struct {
 	// work spent restoring the replica floor.
 	RepairReplications int64
 	RepairByteHops     int64
+	// Unreliable control plane metrics, all zero unless the fault schedule
+	// carried message-fault clauses (drop/dup/cdelay). CtrlEnabled records
+	// whether the plane was armed.
+	CtrlEnabled bool
+	// CtrlRPCAttempts/Retries/Timeouts/Lost count control RPC activity;
+	// CtrlNotifiesLost counts one-way notifications that never arrived.
+	CtrlRPCAttempts  int64
+	CtrlRPCRetries   int64
+	CtrlRPCTimeouts  int64
+	CtrlRPCLost      int64
+	CtrlNotifiesLost int64
+	// DeferredMoves counts placement moves pushed to a later placement
+	// interval after a lost handshake.
+	DeferredMoves int64
+	// OrphansHealed counts replicas re-registered by anti-entropy
+	// reconciliation; ReconcileRuns/ReconcileByteHops measure the
+	// reconciliation passes and their digest traffic.
+	OrphansHealed     int64
+	ReconcileRuns     int64
+	ReconcileByteHops int64
 }
 
 // Result is everything one run produces.
@@ -475,6 +514,8 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 		simCfg.Faults = spec
 	}
 	simCfg.Protocol.ReplicaFloor = cfg.ReplicaFloor
+	simCfg.Ctrl.Retries = cfg.CtrlRetries
+	simCfg.Ctrl.Timeout = cfg.CtrlTimeout
 	return &simCfg, nil
 }
 
@@ -536,6 +577,17 @@ func convert(res *sim.Results) *Result {
 			BelowFloorObjectSeconds:  res.BelowFloorObjSecs,
 			RepairReplications:       res.Counters.RepairReplications,
 			RepairByteHops:           res.RepairByteHops,
+
+			CtrlEnabled:       res.CtrlEnabled,
+			CtrlRPCAttempts:   res.CtrlStats.Attempts,
+			CtrlRPCRetries:    res.CtrlStats.Retries,
+			CtrlRPCTimeouts:   res.CtrlStats.Timeouts,
+			CtrlRPCLost:       res.CtrlStats.Lost,
+			CtrlNotifiesLost:  res.CtrlStats.NotifiesLost,
+			DeferredMoves:     res.Counters.DeferredMoves,
+			OrphansHealed:     res.OrphansHealed,
+			ReconcileRuns:     res.ReconcileRuns,
+			ReconcileByteHops: res.ReconcileByteHops,
 		},
 		Bandwidth:   conv(res.Bandwidth),
 		Latency:     conv(res.Latency),
