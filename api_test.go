@@ -33,6 +33,8 @@ func TestSentinelErrorsMatchable(t *testing.T) {
 		{"unknown consistency", func(c *radar.Config) { c.Consistency = "no-such-regime" }, radar.ErrUnknownConsistency},
 		{"bad fault schedule", func(c *radar.Config) { c.FaultSchedule = "drop:1.5" }, radar.ErrBadFaultSchedule},
 		{"negative replica floor", func(c *radar.Config) { c.ReplicaFloor = -1 }, radar.ErrBadReplicaFloor},
+		{"availability weight above 1", func(c *radar.Config) { c.AvailabilityWeight = 1.5 }, radar.ErrBadAvailabilityWeight},
+		{"negative availability weight", func(c *radar.Config) { c.AvailabilityWeight = -0.1 }, radar.ErrBadAvailabilityWeight},
 		{"negative ctrl retries", func(c *radar.Config) { c.CtrlRetries = -2 }, radar.ErrBadCtrlRetries},
 		{"negative ctrl timeout", func(c *radar.Config) { c.CtrlTimeout = -time.Second }, radar.ErrBadCtrlTimeout},
 	}

@@ -15,6 +15,8 @@
 //	radar-experiments -only figures    # skip the ablations
 //	radar-experiments -csv out/        # also dump the series data
 //	radar-experiments -times           # include per-run wall-clock tables
+//	radar-experiments -corpus          # scenario corpus: legacy vs availability-aware vs oracle
+//	radar-experiments -scenario correlated-rack-failures   # one corpus scenario
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"radar/internal/experiments"
+	"radar/internal/scenario"
 )
 
 func main() {
@@ -37,7 +40,9 @@ func run() error {
 	var (
 		seed        = flag.Int64("seed", 1, "random seed")
 		quick       = flag.Bool("quick", false, "reduced scale (2000 objects, halved durations)")
-		only        = flag.String("only", "all", "what to run: all | figures | figure9 | ablations | multiseed | faults | ctrl")
+		only        = flag.String("only", "all", "what to run: all | figures | figure9 | ablations | multiseed | faults | ctrl | corpus")
+		corpus      = flag.Bool("corpus", false, "run the scenario corpus comparison (same as -only corpus)")
+		scenarioSel = flag.String("scenario", "", "run the corpus comparison for one named scenario (see internal/scenario)")
 		seeds       = flag.Int("seeds", 3, "number of seeds for -only multiseed")
 		csvDir      = flag.String("csv", "", "directory for per-figure series CSVs")
 		parallelism = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any level")
@@ -46,6 +51,27 @@ func run() error {
 	flag.Parse()
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallelism}
 	start := time.Now()
+
+	if *corpus || *scenarioSel != "" || *only == "corpus" {
+		fmt.Println("== Scenario corpus ==")
+		var scens []scenario.Scenario
+		if *scenarioSel != "" {
+			sc, ok := scenario.ByName(*scenarioSel)
+			if !ok {
+				return fmt.Errorf("unknown scenario %q (known: %v)", *scenarioSel, scenario.Names())
+			}
+			scens = []scenario.Scenario{sc}
+		}
+		rep, err := experiments.RunCorpus(opts, scens)
+		if err != nil {
+			return err
+		}
+		if err := rep.Table.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Second))
+		return nil
+	}
 
 	if *only == "all" || *only == "figures" {
 		fmt.Println("== Paper suite (Table 1 parameters, low load) ==")

@@ -52,6 +52,7 @@ func run() error {
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file before exit")
 		faults       = flag.String("faults", "", `fault schedule, e.g. "crash:9@3m+5m; drop:0.2; dup:0.05; cdelay:50ms"`)
 		replicaFloor = flag.Int("replica-floor", 0, "minimum replicas kept per object (repair replication; 0/1 = paper behavior)")
+		availWeight  = flag.Float64("avail-weight", 0, "availability-aware placement weight in [0,1] (0 = paper behavior)")
 		ctrlRetries  = flag.Int("ctrl-retries", 0, "control-RPC retry budget under message faults (0 = default 3)")
 		ctrlTimeout  = flag.Duration("ctrl-timeout", 0, "per-attempt control-RPC timeout under message faults (0 = default 1s)")
 	)
@@ -76,6 +77,7 @@ func run() error {
 	cfg.LinkContention = *contention
 	cfg.FaultSchedule = *faults
 	cfg.ReplicaFloor = *replicaFloor
+	cfg.AvailabilityWeight = *availWeight
 	cfg.CtrlRetries = *ctrlRetries
 	cfg.CtrlTimeout = *ctrlTimeout
 	if *traceFile != "" {

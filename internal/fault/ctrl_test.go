@@ -52,6 +52,21 @@ func TestParseScheduleMessageFaultErrors(t *testing.T) {
 	}
 }
 
+// Duplicate control-plane terms are schedule typos, not overrides: the
+// parser rejects them rather than letting the last writer win.
+func TestParseScheduleDuplicateMessageFaultKeys(t *testing.T) {
+	for _, bad := range []string{
+		"drop:0.2; drop:0.9",
+		"dup:0.05; dup:0.1",
+		"cdelay:50ms; cdelay:20ms",
+		"drop:0.2; dup:0.05; drop:0.2", // even an identical repeat
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want duplicate-key error", bad)
+		}
+	}
+}
+
 func TestValidateRejectsBadMessageFaults(t *testing.T) {
 	for _, spec := range []Spec{
 		{MsgDrop: -0.5},

@@ -74,6 +74,32 @@ func TestParseScheduleErrors(t *testing.T) {
 	}
 }
 
+// TestParseScheduleDuplicateScalarKeys: a repeated scalar clause is a
+// schedule typo, not a request for last-writer-wins — the parser rejects
+// it instead of silently discarding the earlier value. Scripted crash and
+// link clauses may repeat (each names a distinct event).
+func TestParseScheduleDuplicateScalarKeys(t *testing.T) {
+	for _, bad := range []string{
+		"mtbf:20m; mttr:2m; mtbf:10m",
+		"mtbf:20m; mttr:2m; mttr:3m",
+		"linkmtbf:1h; linkmttr:5m; linkmtbf:30m",
+		"linkmtbf:1h; linkmttr:5m; linkmttr:1m",
+		"mtbf:20m; MTBF:20m; mttr:2m", // keys are case-insensitive
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want duplicate-key error", bad)
+		}
+	}
+	// Repeating crash/link clauses stays legal.
+	spec, err := ParseSchedule("crash:7@5m+3m; crash:7@15m; link:1-2@2m; link:1-2@9m+1m")
+	if err != nil {
+		t.Fatalf("repeated scripted clauses rejected: %v", err)
+	}
+	if len(spec.Events) != 6 {
+		t.Errorf("got %d events, want 6", len(spec.Events))
+	}
+}
+
 func TestValidateRejectsUnknownNodes(t *testing.T) {
 	spec := Spec{Events: []Event{{Kind: HostDown, At: time.Minute, Node: 99}}}
 	if err := spec.Validate(10); err == nil {

@@ -26,6 +26,7 @@ func FuzzFaultSchedule(f *testing.F) {
 		"CRASH:1@1m; LINK:2-1@2m",
 		"crash:-1@1m",
 		"mtbf:1ns; mttr:1ns",
+		"mtbf:20m; mttr:2m; mtbf:10m", // duplicate scalar key — rejected
 	} {
 		f.Add(seed)
 	}

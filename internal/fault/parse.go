@@ -38,8 +38,14 @@ import (
 // Node indices are validated against the topology later (Spec.Validate),
 // and scripted links must name real backbone edges (Spec.Timeline); the
 // parser only requires non-negative integers.
+//
+// Scalar clauses (mtbf, mttr, linkmtbf, linkmttr, drop, dup, cdelay) may
+// appear at most once: a repeated key is a schedule typo — silently letting
+// the last writer win would hide the intended value — and is rejected.
+// Scripted crash/link clauses may repeat freely (each adds an event).
 func ParseSchedule(s string) (Spec, error) {
 	var spec Spec
+	seen := make(map[string]bool, 4)
 	for _, clause := range strings.Split(s, ";") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
@@ -51,6 +57,13 @@ func ParseSchedule(s string) (Spec, error) {
 		}
 		key = strings.ToLower(strings.TrimSpace(key))
 		rest = strings.TrimSpace(rest)
+		switch key {
+		case "mtbf", "mttr", "linkmtbf", "linkmttr", "drop", "dup", "cdelay":
+			if seen[key] {
+				return Spec{}, fmt.Errorf("fault: duplicate clause %q (each scalar key may appear once)", key)
+			}
+			seen[key] = true
+		}
 		var err error
 		switch key {
 		case "crash":

@@ -18,6 +18,11 @@ type RedirectorControl interface {
 	NotifyReplicaChange(id object.ID, host topology.NodeID, aff int)
 	RequestDrop(id object.ID, host topology.NodeID) bool
 	ReplicaCount(id object.ID) int
+	// ReplicaHosts appends the hosts currently recorded for id to buf and
+	// returns it, sorted by host ID. The availability-aware candidate
+	// ordering reads it; pass a reusable buffer to keep the placement pass
+	// allocation-free.
+	ReplicaHosts(id object.ID, buf []topology.NodeID) []topology.NodeID
 }
 
 // CreateObjStatus is the caller-visible outcome of a CreateObj handshake.
@@ -60,8 +65,10 @@ type Env struct {
 	CanReplicate func(id object.ID, currentReplicas int) bool
 	// FindRepairTarget locates a host able to take a repair replica of id:
 	// a live host below the low watermark not already holding the object.
-	// Required when Params.ReplicaFloor > 1; unused otherwise.
-	FindRepairTarget func(id object.ID, from topology.NodeID) (topology.NodeID, bool)
+	// now is the repair pass time, so selection can consult time-dependent
+	// host state (e.g. the acquisition-halt guard). Required when
+	// Params.ReplicaFloor > 1; unused otherwise.
+	FindRepairTarget func(now time.Duration, id object.ID, from topology.NodeID) (topology.NodeID, bool)
 	// SendCreateObj, if non-nil, carries CreateObj handshakes over the
 	// unreliable control plane: it delivers the request from -> to as
 	// lossy message legs, runs exec (the callee-side handler, returning
@@ -118,8 +125,12 @@ type Host struct {
 	deferObs DeferralObserver
 	// candBuf is the reusable candidate scratch buffer for the placement
 	// pass; its contents are only valid within one candidatesByDistanceDesc
-	// call chain.
-	candBuf []topology.NodeID
+	// call chain. replBuf and availBuf are the availability-aware ordering's
+	// scratch buffers (replica hosts and scored candidates), with the same
+	// single-call lifetime.
+	candBuf  []topology.NodeID
+	replBuf  []topology.NodeID
+	availBuf []availCand
 
 	// Stats accumulates protocol activity counters for reports.
 	Stats HostStats
@@ -523,7 +534,7 @@ func (h *Host) repairReplicas(now time.Duration) int {
 			if h.env.CanReplicate != nil && !h.env.CanReplicate(id, count) {
 				break
 			}
-			target, ok := h.env.FindRepairTarget(id, h.ID)
+			target, ok := h.env.FindRepairTarget(now, id, h.ID)
 			if !ok {
 				break
 			}
@@ -533,11 +544,18 @@ func (h *Host) repairReplicas(now time.Duration) int {
 			}
 			objLoad := h.loads.ObjectLoad(id)
 			unitLoad := objLoad / float64(st.Aff)
-			status, _, doneAt := h.createObj(now, peer, Replicate, id, unitLoad, st.Aff, 0)
+			// With the availability objective armed, repair travels as the
+			// Repair method so the target applies the availability-relaxed
+			// accept watermark; at w = 0 it is plain Replicate, byte-for-byte.
+			method := Replicate
+			if h.params.AvailabilityWeight > 0 {
+				method = Repair
+			}
+			status, _, doneAt := h.createObj(now, peer, method, id, unitLoad, st.Aff, 0)
 			if status != CreateAccepted {
 				if status == CreateRefused {
 					h.Stats.RefusalsGot++
-					h.env.Observer.OnRefuse(now, id, h.ID, target, Replicate)
+					h.env.Observer.OnRefuse(now, id, h.ID, target, method)
 				}
 				// A lost repair handshake is retried by the next repair
 				// pass; reconciliation heals any replica it did create.
@@ -580,7 +598,7 @@ func (h *Host) tryGeoMigrate(now time.Duration, id object.ID, st *ObjectState) (
 		return 0, false
 	}
 	unitLoad := h.loads.ObjectLoad(id) / float64(st.Aff)
-	for _, p := range h.candidatesByDistanceDesc(st) {
+	for _, p := range h.orderCandidates(id, st, Migrate) {
 		if float64(st.Cnt[p])/float64(total) <= h.params.MigrRatio {
 			continue
 		}
@@ -617,7 +635,7 @@ func (h *Host) tryGeoReplicate(now time.Duration, id object.ID, st *ObjectState)
 		return 0, false
 	}
 	unitLoad := h.loads.ObjectLoad(id) / float64(st.Aff)
-	for _, p := range h.candidatesByDistanceDesc(st) {
+	for _, p := range h.orderCandidates(id, st, Replicate) {
 		if float64(st.Cnt[p])/float64(total) <= h.params.ReplRatio {
 			continue
 		}
@@ -670,6 +688,15 @@ func (h *Host) reduceAffinity(now time.Duration, id object.ID, st *ObjectState) 
 	return affUnchanged
 }
 
+// AcquisitionHalted reports whether the §2.1 footnote 2 guard is active:
+// back-to-back acquisitions have kept the upper-bound load estimate alive
+// past Params.EstimateHaltAfter, so the host refuses further acquisitions
+// until a clean measurement interval completes. Exposed so repair-target
+// selection can steer around hosts whose refusal is a foregone conclusion.
+func (h *Host) AcquisitionHalted(now time.Duration) bool {
+	return h.params.EstimateHaltAfter > 0 && h.est.UpperActiveFor(now) > h.params.EstimateHaltAfter
+}
+
 // CreateObj serves a replica creation request from peer host `from`
 // (Fig. 4): refuse unless this host's accept-side load is below the low
 // watermark; for migrations additionally refuse if the upper-bound load
@@ -683,7 +710,7 @@ func (h *Host) CreateObj(now time.Duration, method Method, id object.ID, unitLoa
 	// §2.1 footnote 2: when back-to-back acquisitions have kept the
 	// upper-bound estimate alive too long, halt further acquisitions so a
 	// clean measurement interval can complete and real load data returns.
-	if h.params.EstimateHaltAfter > 0 && h.est.UpperActiveFor(now) > h.params.EstimateHaltAfter {
+	if h.AcquisitionHalted(now) {
 		h.Stats.RefusalsSent++
 		h.Stats.RefusedHalt++
 		return false
@@ -696,7 +723,17 @@ func (h *Host) CreateObj(now time.Duration, method Method, id object.ID, unitLoa
 		return false
 	}
 	loadForAccept := h.est.LoadForAccept(h.loads.Load())
-	if loadForAccept > h.params.LowWatermark {
+	// Availability-aware repair accepts against a watermark relaxed from lw
+	// toward hw by the availability weight: a floor repair copy is cold (its
+	// unit load is the thinned set's, not a hot spot's) and every refusal
+	// costs the object a placement interval of single-copy exposure, so the
+	// knob deliberately lets floor restoration consume load-balancing
+	// headroom in proportion to w.
+	acceptCeiling := h.params.LowWatermark
+	if method == Repair {
+		acceptCeiling += h.params.AvailabilityWeight * (h.params.HighWatermark - h.params.LowWatermark)
+	}
+	if loadForAccept > acceptCeiling {
 		h.Stats.RefusalsSent++
 		h.Stats.RefusedLW++
 		return false

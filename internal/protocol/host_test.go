@@ -83,7 +83,7 @@ func newCluster(t *testing.T, topo *topology.Topology, params Params) *cluster {
 			RedirectorFor: func(object.ID) RedirectorControl { return c.red },
 			Peer:          func(p topology.NodeID) *Host { return c.hosts[p] },
 			FindRecipient: c.findRecipient,
-			FindRepairTarget: func(id object.ID, from topology.NodeID) (topology.NodeID, bool) {
+			FindRepairTarget: func(_ time.Duration, id object.ID, from topology.NodeID) (topology.NodeID, bool) {
 				return c.findRepairTarget(id, from)
 			},
 			CopyObject: func(_ time.Duration, from, to topology.NodeID, id object.ID) {

@@ -72,6 +72,15 @@ type Params struct {
 	// behavior exactly: replicas exist only where demand warrants them and
 	// only the last copy is protected.
 	ReplicaFloor int
+	// AvailabilityWeight folds an availability objective into the
+	// replicate/migrate candidate ordering (the continuous-placement idea
+	// of availability-aware replica placement): candidates are scored by
+	// (1-w)·distance + w·availability-gain, where the gain rewards targets
+	// that add a new copy and widen the minimum distance between surviving
+	// replicas (failure-domain spread). Zero — the default — preserves the
+	// paper's farthest-first ordering byte-for-byte; 1 orders candidates by
+	// availability gain alone. Must be in [0, 1].
+	AvailabilityWeight float64
 	// StorageCapacity caps the number of objects a host may store —
 	// the storage component of the §2.1 vector load ("the load metric
 	// may be represented by a vector reflecting multiple components,
@@ -151,6 +160,9 @@ func (p Params) Validate() error {
 	}
 	if p.ReplicaFloor < 0 {
 		return fmt.Errorf("protocol: ReplicaFloor %d must be non-negative", p.ReplicaFloor)
+	}
+	if p.AvailabilityWeight < 0 || p.AvailabilityWeight > 1 || p.AvailabilityWeight != p.AvailabilityWeight {
+		return fmt.Errorf("protocol: AvailabilityWeight %v must be in [0,1]", p.AvailabilityWeight)
 	}
 	if p.StorageCapacity < 0 {
 		return fmt.Errorf("protocol: StorageCapacity %d must be non-negative", p.StorageCapacity)

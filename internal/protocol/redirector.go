@@ -427,6 +427,22 @@ func (r *Redirector) Replicas(id object.ID) []Replica {
 	return out
 }
 
+// ReplicaHosts appends the hosts recorded for id to buf and returns it,
+// sorted by host ID (the entry order). It returns buf[:0] for unknown
+// objects. Pass a reusable buffer to avoid allocating on the placement
+// hot path.
+func (r *Redirector) ReplicaHosts(id object.ID, buf []topology.NodeID) []topology.NodeID {
+	buf = buf[:0]
+	e := r.lookup(id)
+	if e == nil {
+		return buf
+	}
+	for i := range e.replicas {
+		buf = append(buf, e.replicas[i].Host)
+	}
+	return buf
+}
+
 // ReplicaCount returns the number of recorded replicas of id.
 func (r *Redirector) ReplicaCount(id object.ID) int {
 	e := r.lookup(id)

@@ -82,6 +82,13 @@ const (
 	Migrate Method = iota + 1
 	// Replicate asks the candidate to host an additional affinity unit.
 	Replicate
+	// Repair is a replication issued by the replica-floor repair pass with
+	// the availability-aware objective armed: the target accepts it against
+	// the availability-relaxed watermark lw + w·(hw-lw) instead of lw, so
+	// floor restoration may consume load-balancing headroom in proportion
+	// to Params.AvailabilityWeight. With w = 0 repair uses plain Replicate
+	// and this method never appears on the wire.
+	Repair
 )
 
 // String returns the method's wire name.
@@ -91,6 +98,8 @@ func (m Method) String() string {
 		return "MIGRATE"
 	case Replicate:
 		return "REPLICATE"
+	case Repair:
+		return "REPAIR"
 	default:
 		return "UNKNOWN"
 	}

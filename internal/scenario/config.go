@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"fmt"
+
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/sim"
+	"radar/internal/substrate"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+// Flash-crowd composition constants: the crowd hammers the pages homed on
+// flashCrowdHome from every gateway within flashCrowdRadius hops of it,
+// sending flashCrowdPFocus of that vicinity's traffic at the targets —
+// the §3 motivating case, aimed at the node the outage scenarios crash.
+const (
+	flashCrowdHome   = topology.NodeID(9)
+	flashCrowdRadius = 2
+	flashCrowdPFocus = 0.8
+)
+
+// Config builds the full simulation configuration the spec composes:
+// Table 1 defaults specialized by every parsed clause.
+func (sp Spec) Config() (sim.Config, error) {
+	if sp.Workload == "" {
+		return sim.Config{}, fmt.Errorf("scenario: spec has no workload (use ParseSpec)")
+	}
+	sub := substrate.UUNET()
+	u := object.Universe{Count: sp.Objects, SizeBytes: 12 << 10}
+	gen, err := buildGenerator(sp.Workload, u, sub, sp.Seed)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig(gen, sp.Seed)
+	cfg.Universe = u
+	cfg.Duration = sp.Duration
+	cfg.NodeRequestRPS = sp.RPS
+	cfg.NumRedirectors = sp.Redirectors
+	if sp.HighLoad {
+		cfg.Protocol = protocol.HighLoadParams()
+	}
+	cfg.Protocol.ReplicaFloor = sp.Floor
+	cfg.Protocol.AvailabilityWeight = sp.Avail
+	switch sp.Policy {
+	case "round-robin":
+		cfg.Policy = protocol.PolicyRoundRobin
+	case "closest":
+		cfg.Policy = protocol.PolicyClosest
+	}
+	cfg.Faults = sp.Faults
+	if sp.SwitchTo != "" {
+		to, err := buildGenerator(sp.SwitchTo, u, sub, sp.Seed)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.WorkloadSwitch.At = sp.SwitchAt
+		cfg.WorkloadSwitch.To = to
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// buildGenerator constructs a demand generator by scenario name, with the
+// paper's skew parameters for the named workloads.
+func buildGenerator(name string, u object.Universe, sub *substrate.Substrate, seed int64) (workload.Generator, error) {
+	topo := sub.Topo
+	switch name {
+	case "uniform":
+		return workload.NewUniform(u)
+	case "zipf":
+		return workload.NewZipf(u)
+	case "hot-sites":
+		return workload.NewHotSites(u, topo.NumNodes(), 0.9, seed)
+	case "hot-pages":
+		return workload.NewHotPages(u, 0.1, 0.9, seed)
+	case "regional":
+		return workload.NewRegional(u, topo, 0.01, 0.9)
+	case "flash-crowd":
+		background, err := workload.NewZipf(u)
+		if err != nil {
+			return nil, err
+		}
+		targets := u.ObjectsHomedAt(flashCrowdHome, topo.NumNodes())
+		if len(targets) == 0 {
+			return nil, fmt.Errorf("scenario: no objects homed at node %d for the flash crowd", flashCrowdHome)
+		}
+		var gateways []topology.NodeID
+		for n := 0; n < topo.NumNodes(); n++ {
+			if sub.Routes.Distance(flashCrowdHome, topology.NodeID(n)) <= flashCrowdRadius {
+				gateways = append(gateways, topology.NodeID(n))
+			}
+		}
+		return workload.NewFocused(targets, gateways, flashCrowdPFocus, background)
+	}
+	return nil, fmt.Errorf("scenario: unknown workload %q", name)
+}

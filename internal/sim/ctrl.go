@@ -151,6 +151,12 @@ func (l *lossyRedirector) ReplicaCount(id object.ID) int {
 	return l.red.ReplicaCount(id)
 }
 
+func (l *lossyRedirector) ReplicaHosts(id object.ID, buf []topology.NodeID) []topology.NodeID {
+	// Read-through like ReplicaCount: replica-set knowledge rides the
+	// periodic load-report exchange, not a per-query RPC.
+	return l.red.ReplicaHosts(id, buf)
+}
+
 // scheduleReconcile arms the periodic anti-entropy pass.
 func (s *Simulation) scheduleReconcile() error {
 	if s.ctrl == nil {

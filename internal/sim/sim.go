@@ -285,19 +285,34 @@ func (s *Simulation) findRecipient(exclude topology.NodeID) (topology.NodeID, bo
 }
 
 // findRepairTarget locates a host for a replica-floor repair copy: the
-// live host with the most relative headroom below its low watermark that
-// does not already hold the object.
-func (s *Simulation) findRepairTarget(id object.ID, from topology.NodeID) (topology.NodeID, bool) {
+// live host with the most relative headroom below its accept watermark
+// that does not already hold the object. With the availability-aware
+// objective armed (Params.AvailabilityWeight = w > 0) selection becomes
+// refusal-aware in two ways that mirror the Repair accept path: the
+// watermark is relaxed from lw toward hw by w (floor restoration may
+// consume load-balancing headroom in proportion to the knob), and hosts
+// whose acquisition-halt guard is active are skipped — their load
+// estimate is stale-low, so the pure-headroom rule keeps electing them
+// pass after pass and every such election is a guaranteed refusal that
+// costs the object a full placement interval of single-copy exposure.
+// Weight zero keeps the legacy selection byte-for-byte, halted electees
+// and all.
+func (s *Simulation) findRepairTarget(now time.Duration, id object.ID, from topology.NodeID) (topology.NodeID, bool) {
+	w := s.cfg.Protocol.AvailabilityWeight
 	best, bestRel, found := topology.NodeID(0), 0.0, false
 	for i := range s.hosts {
 		nid := topology.NodeID(i)
 		if nid == from || s.down[i] || s.hosts[i].Has(id) {
 			continue
 		}
+		if w > 0 && s.hosts[i].AcquisitionHalted(now) {
+			continue
+		}
 		l := s.hosts[i].Estimator().LoadForAccept(s.servers[i].Load())
-		lw := s.hosts[i].Params().LowWatermark
-		rel := l / lw
-		if l < lw && (!found || rel < bestRel) {
+		p := s.hosts[i].Params()
+		ceiling := p.LowWatermark + w*(p.HighWatermark-p.LowWatermark)
+		rel := l / ceiling
+		if l < ceiling && (!found || rel < bestRel) {
 			best, bestRel, found = nid, rel, true
 		}
 	}

@@ -109,6 +109,9 @@ var (
 	ErrBadFaultSchedule = errors.New("radar: bad fault schedule")
 	// ErrBadReplicaFloor reports a negative Config.ReplicaFloor.
 	ErrBadReplicaFloor = errors.New("radar: bad replica floor")
+	// ErrBadAvailabilityWeight reports a Config.AvailabilityWeight outside
+	// [0, 1].
+	ErrBadAvailabilityWeight = errors.New("radar: bad availability weight")
 	// ErrBadCtrlRetries reports a negative Config.CtrlRetries.
 	ErrBadCtrlRetries = errors.New("radar: bad control-plane retry budget")
 	// ErrBadCtrlTimeout reports a negative Config.CtrlTimeout.
@@ -170,6 +173,16 @@ type Config struct {
 	// replications, reported separately). Zero or one keeps the paper's
 	// behavior: replicas exist only where demand warrants them.
 	ReplicaFloor int
+	// AvailabilityWeight w in [0, 1] arms the availability-aware placement
+	// objective: replicate/migrate candidates are ordered by a blend of
+	// the paper's farthest-first distance rule (weight 1-w) and a
+	// failure-domain term (weight w) favoring new copies placed far from
+	// the object's existing replicas, floor-threatening migrations are
+	// demoted behind safe candidates, and replica-floor repair becomes
+	// refusal-aware with its accept watermark relaxed from lw toward hw by
+	// w. Zero (the default) keeps the run byte-identical to the paper's
+	// protocol.
+	AvailabilityWeight float64
 	// CtrlRetries overrides the unreliable control plane's RPC retry
 	// budget (attempts = 1 + retries); CtrlTimeout overrides its
 	// per-attempt timeout. Both only matter when FaultSchedule carries
@@ -232,6 +245,9 @@ func (c Config) Validate() error {
 	}
 	if c.ReplicaFloor < 0 {
 		return fmt.Errorf("%w: %d is negative", ErrBadReplicaFloor, c.ReplicaFloor)
+	}
+	if c.AvailabilityWeight < 0 || c.AvailabilityWeight > 1 || c.AvailabilityWeight != c.AvailabilityWeight {
+		return fmt.Errorf("%w: %v outside [0, 1]", ErrBadAvailabilityWeight, c.AvailabilityWeight)
 	}
 	if c.CtrlRetries < 0 {
 		return fmt.Errorf("%w: %d is negative", ErrBadCtrlRetries, c.CtrlRetries)
@@ -514,6 +530,7 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 		simCfg.Faults = spec
 	}
 	simCfg.Protocol.ReplicaFloor = cfg.ReplicaFloor
+	simCfg.Protocol.AvailabilityWeight = cfg.AvailabilityWeight
 	simCfg.Ctrl.Retries = cfg.CtrlRetries
 	simCfg.Ctrl.Timeout = cfg.CtrlTimeout
 	return &simCfg, nil
