@@ -55,6 +55,7 @@ func run() error {
 		availWeight  = flag.Float64("avail-weight", 0, "availability-aware placement weight in [0,1] (0 = paper behavior)")
 		ctrlRetries  = flag.Int("ctrl-retries", 0, "control-RPC retry budget under message faults (0 = default 3)")
 		ctrlTimeout  = flag.Duration("ctrl-timeout", 0, "per-attempt control-RPC timeout under message faults (0 = default 1s)")
+		storeSpec    = flag.String("store", "", `replica-storage stack, e.g. "cache(mem:64,disk:5ms)" or "mirror(faulty(mem),mem)" (empty = in-memory)`)
 	)
 	flag.Parse()
 
@@ -70,16 +71,17 @@ func run() error {
 	cfg.Duration = *duration
 	cfg.Static = *static
 	cfg.HighLoad = *highLoad
-	cfg.Policy = radar.Policy(*policy)
+	cfg.Placement.Policy = radar.Policy(*policy)
 	cfg.Consistency = radar.Consistency(*consistency)
 	cfg.NumRedirectors = *redirectors
 	cfg.PoissonArrivals = *poisson
 	cfg.LinkContention = *contention
-	cfg.FaultSchedule = *faults
-	cfg.ReplicaFloor = *replicaFloor
-	cfg.AvailabilityWeight = *availWeight
-	cfg.CtrlRetries = *ctrlRetries
-	cfg.CtrlTimeout = *ctrlTimeout
+	cfg.Faults.FaultSchedule = *faults
+	cfg.Faults.ReplicaFloor = *replicaFloor
+	cfg.Placement.AvailabilityWeight = *availWeight
+	cfg.Ctrl.CtrlRetries = *ctrlRetries
+	cfg.Ctrl.CtrlTimeout = *ctrlTimeout
+	cfg.Storage.Store = *storeSpec
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {

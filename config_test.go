@@ -1,0 +1,180 @@
+package radar_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"radar"
+)
+
+// TestGroupedConfigPromotion: the embedded sub-structs promote their
+// fields, so grouped and flat assignment address the same storage and
+// produce identical configurations.
+func TestGroupedConfigPromotion(t *testing.T) {
+	grouped := radar.DefaultConfig(radar.Zipf)
+	grouped.Placement.Policy = radar.PolicyClosest
+	grouped.Placement.AvailabilityWeight = 0.5
+	grouped.Faults.FaultSchedule = "crash:9@3m+5m"
+	grouped.Faults.ReplicaFloor = 2
+	grouped.Ctrl.CtrlRetries = 4
+	grouped.Ctrl.CtrlTimeout = 2 * time.Second
+	grouped.Storage.Store = "cache(mem:64,disk:5ms)"
+
+	flat := radar.DefaultConfig(radar.Zipf)
+	flat.Policy = radar.PolicyClosest
+	flat.AvailabilityWeight = 0.5
+	flat.FaultSchedule = "crash:9@3m+5m"
+	flat.ReplicaFloor = 2
+	flat.CtrlRetries = 4
+	flat.CtrlTimeout = 2 * time.Second
+	flat.Store = "cache(mem:64,disk:5ms)"
+
+	if grouped != flat {
+		t.Errorf("grouped and flat assignment diverge:\n grouped: %+v\n flat: %+v", grouped, flat)
+	}
+	if err := grouped.Validate(); err != nil {
+		t.Errorf("grouped config fails validation: %v", err)
+	}
+}
+
+// TestGroupValidateIsolation: each embedded group validates on its own,
+// without needing the rest of the configuration to be well-formed.
+func TestGroupValidateIsolation(t *testing.T) {
+	if err := (radar.Placement{Policy: radar.PolicyPaper, AvailabilityWeight: 0.5}).Validate(); err != nil {
+		t.Errorf("valid placement group rejected: %v", err)
+	}
+	if err := (radar.Placement{AvailabilityWeight: 1.5}).Validate(); !errors.Is(err, radar.ErrBadAvailabilityWeight) {
+		t.Errorf("placement group error = %v, want ErrBadAvailabilityWeight", err)
+	}
+	if err := (radar.Faults{ReplicaFloor: -1}).Validate(); !errors.Is(err, radar.ErrBadReplicaFloor) {
+		t.Errorf("faults group error = %v, want ErrBadReplicaFloor", err)
+	}
+	if err := (radar.Faults{FaultSchedule: "nope"}).Validate(); !errors.Is(err, radar.ErrBadFaultSchedule) {
+		t.Errorf("faults group error = %v, want ErrBadFaultSchedule", err)
+	}
+	if err := (radar.Ctrl{CtrlRetries: -1}).Validate(); !errors.Is(err, radar.ErrBadCtrlRetries) {
+		t.Errorf("ctrl group error = %v, want ErrBadCtrlRetries", err)
+	}
+	if err := (radar.Ctrl{CtrlTimeout: -time.Second}).Validate(); !errors.Is(err, radar.ErrBadCtrlTimeout) {
+		t.Errorf("ctrl group error = %v, want ErrBadCtrlTimeout", err)
+	}
+	if err := (radar.Storage{Store: "cache(disk,mem)"}).Validate(); !errors.Is(err, radar.ErrBadStoreSpec) {
+		t.Errorf("storage group error = %v, want ErrBadStoreSpec", err)
+	}
+	if err := (radar.Storage{}).Validate(); err != nil {
+		t.Errorf("zero storage group rejected: %v", err)
+	}
+}
+
+// TestConfigErrorClassAndDetail: every out-of-range value is a
+// *ConfigError wrapping ErrBadConfig AND its legacy sentinel, with the
+// structured field detail intact.
+func TestConfigErrorClassAndDetail(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*radar.Config)
+		legacy error
+		field  string
+	}{
+		{"replica floor", func(c *radar.Config) { c.Faults.ReplicaFloor = -1 }, radar.ErrBadReplicaFloor, "Faults.ReplicaFloor"},
+		{"availability weight", func(c *radar.Config) { c.Placement.AvailabilityWeight = -0.1 }, radar.ErrBadAvailabilityWeight, "Placement.AvailabilityWeight"},
+		{"ctrl retries", func(c *radar.Config) { c.Ctrl.CtrlRetries = -2 }, radar.ErrBadCtrlRetries, "Ctrl.CtrlRetries"},
+		{"ctrl timeout", func(c *radar.Config) { c.Ctrl.CtrlTimeout = -time.Second }, radar.ErrBadCtrlTimeout, "Ctrl.CtrlTimeout"},
+		{"store spec", func(c *radar.Config) { c.Storage.Store = "mem(" }, radar.ErrBadStoreSpec, "Storage.Store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := radar.DefaultConfig(radar.Uniform)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("bad config validated")
+			}
+			if !errors.Is(err, radar.ErrBadConfig) {
+				t.Errorf("error %v does not match ErrBadConfig", err)
+			}
+			if !errors.Is(err, tc.legacy) {
+				t.Errorf("error %v does not match legacy sentinel %v", err, tc.legacy)
+			}
+			var ce *radar.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+}
+
+// TestLegacySentinelsWrapErrBadConfig: the per-field sentinels themselves
+// are members of the ErrBadConfig class.
+func TestLegacySentinelsWrapErrBadConfig(t *testing.T) {
+	for _, sentinel := range []error{
+		radar.ErrBadReplicaFloor,
+		radar.ErrBadAvailabilityWeight,
+		radar.ErrBadCtrlRetries,
+		radar.ErrBadCtrlTimeout,
+		radar.ErrBadStoreSpec,
+	} {
+		if !errors.Is(sentinel, radar.ErrBadConfig) {
+			t.Errorf("sentinel %v does not wrap ErrBadConfig", sentinel)
+		}
+	}
+}
+
+// TestRunBadStoreSpec: a malformed store term is caught at Run time with
+// the full sentinel chain.
+func TestRunBadStoreSpec(t *testing.T) {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.Objects = 100
+	cfg.Duration = time.Minute
+	cfg.Storage.Store = "mirror(mem)"
+	if _, err := radar.Run(cfg); !errors.Is(err, radar.ErrBadConfig) || !errors.Is(err, radar.ErrBadStoreSpec) {
+		t.Errorf("Run error = %v, want ErrBadConfig and ErrBadStoreSpec", err)
+	}
+}
+
+// TestRunCacheOverDisk: a cache-over-disk run through the facade reports
+// per-layer stats, and the default store keeps them disabled.
+func TestRunCacheOverDisk(t *testing.T) {
+	cfg := radar.DefaultConfig(radar.Zipf)
+	cfg.Objects = 500
+	cfg.Duration = 2 * time.Minute
+	cfg.Storage.Store = "cache(mem:32,disk:2ms)"
+	res, err := radar.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if !s.StoreEnabled {
+		t.Error("StoreEnabled = false with a non-default stack")
+	}
+	if s.StoreSpec != "cache(mem:32,disk:2ms)" {
+		t.Errorf("StoreSpec = %q", s.StoreSpec)
+	}
+	if s.StoreHits+s.StoreMisses == 0 {
+		t.Error("cache recorded no activity")
+	}
+	if len(res.StoreLayers) != 3 {
+		t.Fatalf("got %d store layers, want 3 (cache, mem, disk)", len(res.StoreLayers))
+	}
+	if res.StoreLayers[0].Label != "cache" || res.StoreLayers[1].Label != "mem:32" || res.StoreLayers[2].Label != "disk:2ms" {
+		t.Errorf("layer labels = %q, %q, %q", res.StoreLayers[0].Label, res.StoreLayers[1].Label, res.StoreLayers[2].Label)
+	}
+	if res.StoreLayers[2].CostNanos == 0 {
+		t.Error("disk tier accrued no serve cost")
+	}
+
+	plain := radar.DefaultConfig(radar.Zipf)
+	plain.Objects = 500
+	plain.Duration = 2 * time.Minute
+	resPlain, err := radar.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPlain.Summary.StoreEnabled || len(resPlain.StoreLayers) != 0 {
+		t.Error("default store reports storage stats")
+	}
+}

@@ -2,6 +2,7 @@ package radar_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -67,6 +68,51 @@ func ExampleRunSeeds() {
 	// Output:
 	// runs: 3
 	// mean equilibrium positive: true
+}
+
+// ExampleConfigError shows the two ways to handle configuration errors:
+// errors.Is catches the whole class (or a single legacy sentinel), and
+// errors.As recovers the offending field, value and reason.
+func ExampleConfigError() {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.Faults.ReplicaFloor = -1
+
+	err := cfg.Validate()
+	fmt.Println("bad config:", errors.Is(err, radar.ErrBadConfig))
+	fmt.Println("legacy sentinel still matches:", errors.Is(err, radar.ErrBadReplicaFloor))
+	var ce *radar.ConfigError
+	if errors.As(err, &ce) {
+		fmt.Printf("field %s = %v: %s\n", ce.Field, ce.Value, ce.Reason)
+	}
+	// Output:
+	// bad config: true
+	// legacy sentinel still matches: true
+	// field Faults.ReplicaFloor = -1: negative
+}
+
+// ExampleConfig_storage runs a scaled-down simulation whose replicas live
+// in a small memory cache over a 5ms disk tier and reads the per-layer
+// accounting back from the result.
+func ExampleConfig_storage() {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.Objects = 500
+	cfg.Duration = 2 * time.Minute
+	cfg.Storage.Store = "cache(mem:64,disk:5ms)"
+
+	res, err := radar.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summary
+	fmt.Println("store enabled:", s.StoreEnabled)
+	fmt.Println("spec:", s.StoreSpec)
+	fmt.Println("cache activity recorded:", s.StoreHits+s.StoreMisses > 0)
+	fmt.Println("layers:", len(res.StoreLayers))
+	// Output:
+	// store enabled: true
+	// spec: cache(mem:64,disk:5ms)
+	// cache activity recorded: true
+	// layers: 3
 }
 
 // ExampleResult_WriteSummary renders a run's summary table.

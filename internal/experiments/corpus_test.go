@@ -56,7 +56,7 @@ func TestRunCorpusParallelismInvariance(t *testing.T) {
 		t.Skip("integration runs")
 	}
 	scens := []scenario.Scenario{}
-	for _, name := range []string{"steady-state-baseline", "correlated-rack-failures"} {
+	for _, name := range []string{"steady-state-baseline", "correlated-rack-failures", "cache-over-disk-tier"} {
 		sc, ok := scenario.ByName(name)
 		if !ok {
 			t.Fatalf("scenario %s missing from corpus", name)

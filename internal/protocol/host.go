@@ -7,6 +7,7 @@ import (
 
 	"radar/internal/object"
 	"radar/internal/routing"
+	"radar/internal/store"
 	"radar/internal/topology"
 )
 
@@ -78,6 +79,14 @@ type Env struct {
 	// caller-side completion time. Nil resolves handshakes inline and
 	// reliably — the paper's instantaneous model.
 	SendCreateObj func(now time.Duration, from, to topology.NodeID, token uint64, exec func(at time.Duration) bool) (CreateObjStatus, uint64, time.Duration)
+	// Store, if non-nil, is this host's replica-storage backend stack.
+	// CreateObj charges each accepted new replica to it as the last
+	// admission check (a full backend refuses like §2.1 storage
+	// capacity), and affinity drops release it. Serve costs are charged
+	// by the simulator's request path, not here. Nil — like the default
+	// unbounded memory stack — preserves the paper's costless-storage
+	// model.
+	Store store.ReplicaStore
 	// Observer, if non-nil, receives placement events.
 	Observer Observer
 }
@@ -681,6 +690,9 @@ func (h *Host) reduceAffinity(now time.Duration, id object.ID, st *ObjectState) 
 	}
 	if red.RequestDrop(id, h.ID) {
 		delete(h.objects, id)
+		if h.env.Store != nil {
+			h.env.Store.Drop(now, id)
+		}
 		h.Stats.Drops++
 		h.env.Observer.OnDrop(now, id, h.ID)
 		return affDropped
@@ -745,6 +757,14 @@ func (h *Host) CreateObj(now time.Duration, method Method, id object.ID, unitLoa
 	}
 	st, have := h.objects[id]
 	if !have {
+		// The storage backend is the last admission check: every earlier
+		// guard is side-effect free, and a successful backend create
+		// commits the placement.
+		if h.env.Store != nil && !h.env.Store.Create(now, id) {
+			h.Stats.RefusalsSent++
+			h.Stats.RefusedStorage++
+			return false
+		}
 		h.env.CopyObject(now, from, h.ID, id)
 		st = newObjectState(h.numNodes)
 		st.AcquiredAt = now

@@ -50,6 +50,7 @@ func (sp Spec) Config() (sim.Config, error) {
 		cfg.Policy = protocol.PolicyClosest
 	}
 	cfg.Faults = sp.Faults
+	cfg.Store = sp.Store
 	if sp.SwitchTo != "" {
 		to, err := buildGenerator(sp.SwitchTo, u, sub, sp.Seed)
 		if err != nil {

@@ -28,6 +28,15 @@ type Metrics struct {
 	LatencyEq          float64 `json:"latencyEq"`   // seconds at equilibrium
 	AvgReplicas        float64 `json:"avgReplicas"`
 	TotalMoves         int64   `json:"totalMoves"`
+	// Replica-storage stack counters, summed across layers. All zero for
+	// the default memory stack (the only layer it has never hits, misses,
+	// evicts, repairs or refetches), so pre-store goldens — which decode
+	// these fields as zero — still match storeless scenarios exactly.
+	StoreHits      int64 `json:"storeHits,omitempty"`
+	StoreMisses    int64 `json:"storeMisses,omitempty"`
+	StoreEvictions int64 `json:"storeEvictions,omitempty"`
+	StoreRepairs   int64 `json:"storeRepairs,omitempty"`
+	StoreRefetches int64 `json:"storeRefetches,omitempty"`
 }
 
 // MetricsFrom extracts the acceptance metrics from a run's results.
@@ -56,6 +65,13 @@ func MetricsFrom(res *sim.Results) Metrics {
 	}
 	if served+failed+timedOut > 0 {
 		m.HitRatio = served / (served + failed + timedOut)
+	}
+	for _, l := range res.StoreLayers {
+		m.StoreHits += l.Hits
+		m.StoreMisses += l.Misses
+		m.StoreEvictions += l.Evictions
+		m.StoreRepairs += l.Repairs
+		m.StoreRefetches += l.Refetches
 	}
 	return m
 }
@@ -91,6 +107,11 @@ func (m Metrics) fields() []field {
 		{"LatencyEq", m.LatencyEq},
 		{"AvgReplicas", m.AvgReplicas},
 		{"TotalMoves", float64(m.TotalMoves)},
+		{"StoreHits", float64(m.StoreHits)},
+		{"StoreMisses", float64(m.StoreMisses)},
+		{"StoreEvictions", float64(m.StoreEvictions)},
+		{"StoreRepairs", float64(m.StoreRepairs)},
+		{"StoreRefetches", float64(m.StoreRefetches)},
 	}
 }
 

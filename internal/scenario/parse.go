@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"radar/internal/fault"
+	"radar/internal/store"
 )
 
 // Spec is a parsed scenario composition. The zero value is not runnable;
@@ -42,6 +43,10 @@ type Spec struct {
 	// sub-schedule for display.
 	Faults    fault.Spec
 	FaultsDSL string
+	// Store is the parsed replica-storage stack; StoreDSL keeps the raw
+	// term for display. The zero value is the default memory stack.
+	Store    store.Spec
+	StoreDSL string
 }
 
 // Scenario DSL limits: a composition is a simulation recipe, not a place
@@ -87,6 +92,8 @@ var policyNames = map[string]bool{
 //	highload            Figure 9 watermarks (bare clause, no value)
 //	faults:SCHEDULE     fault sub-schedule in the -faults DSL with "|"
 //	                    standing in for ";" (e.g. crash:9@4m+3m|drop:0.2)
+//	store:TERM          replica-storage stack in the -store DSL (e.g.
+//	                    mem, cache(mem:64,disk:5ms), mirror(faulty(mem),mem))
 //
 // Durations use Go syntax. Unknown keys, duplicate keys, malformed values
 // and a missing workload are errors — a scenario either parses into
@@ -157,6 +164,9 @@ func ParseSpec(s string) (Spec, error) {
 		case "faults":
 			sp.Faults, err = fault.ParseSchedule(strings.ReplaceAll(rest, "|", ";"))
 			sp.FaultsDSL = rest
+		case "store":
+			sp.Store, err = store.ParseSpec(rest)
+			sp.StoreDSL = rest
 		default:
 			return Spec{}, fmt.Errorf("scenario: unknown clause %q", key)
 		}

@@ -96,6 +96,16 @@ func Corpus() []Scenario {
 			Tolerances: defaultTolerances,
 		},
 		{
+			Name:    "cache-over-disk-tier",
+			Version: 1,
+			Description: "zipf demand served from a small memory cache over a 5ms disk " +
+				"tier — pins the replica-storage stack's hit/miss/eviction accounting " +
+				"and the serve-cost queueing it feeds into FCFS occupancy",
+			DSL: "workload:zipf; objects:2000; duration:8m; rps:40; seed:1; " +
+				"store:cache(mem:64,disk:5ms)",
+			Tolerances: defaultTolerances,
+		},
+		{
 			Name:    "correlated-rack-failures",
 			Version: 1,
 			Description: "three adjacent hosts (9, 10, 11) crash simultaneously for 3m " +

@@ -82,15 +82,29 @@ func New(id topology.NodeID, cfg Config) (*Server, error) {
 	}, nil
 }
 
+// growTo returns s grown to length n, zero-filling new elements and
+// reusing spare capacity when possible. n must be at least len(s).
+func growTo[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	grown := make([]T, n, max(2*cap(s), n))
+	copy(grown, s)
+	return grown
+}
+
 // Enqueue admits a request arriving at now into the FCFS queue and returns
-// its service completion time. The caller schedules the completion event
-// and calls OnServed there.
-func (s *Server) Enqueue(now time.Duration) time.Duration {
+// its service completion time. storageCost is the extra service latency
+// the replica-storage backend charges for this read (zero for resident
+// memory); it extends the request's occupancy of the server, so slow
+// tiers back up the FCFS queue exactly like slow service. The caller
+// schedules the completion event and calls OnServed there.
+func (s *Server) Enqueue(now time.Duration, storageCost time.Duration) time.Duration {
 	start := now
 	if s.busyUntil > start {
 		start = s.busyUntil
 	}
-	done := start + s.serviceTime
+	done := start + s.serviceTime + storageCost
 	s.busyUntil = done
 	s.queueLen++
 	if s.queueLen > s.maxQueueLen {
@@ -99,18 +113,12 @@ func (s *Server) Enqueue(now time.Duration) time.Duration {
 	return done
 }
 
-// OnServed records the completion of a request for id at virtual time now.
-func (s *Server) OnServed(now time.Duration, id object.ID) {
+// OnServed records the completion of a request for id.
+func (s *Server) OnServed(id object.ID) {
 	s.served++
 	s.totalServed++
 	if int(id) >= len(s.servedPerObj) {
-		if int(id) < cap(s.servedPerObj) {
-			s.servedPerObj = s.servedPerObj[:int(id)+1]
-		} else {
-			grown := make([]int32, int(id)+1, max(2*cap(s.servedPerObj), int(id)+1))
-			copy(grown, s.servedPerObj)
-			s.servedPerObj = grown
-		}
+		s.servedPerObj = growTo(s.servedPerObj, int(id)+1)
 	}
 	if s.servedPerObj[id] == 0 {
 		s.servedTouched = append(s.servedTouched, id)
@@ -119,7 +127,6 @@ func (s *Server) OnServed(now time.Duration, id object.ID) {
 	if s.queueLen > 0 {
 		s.queueLen--
 	}
-	_ = now
 }
 
 // CloseInterval completes the measurement interval ending at now: the
@@ -139,9 +146,7 @@ func (s *Server) CloseInterval(now time.Duration) (closedStart time.Duration) {
 	}
 	s.loadTouched = s.loadTouched[:0]
 	if len(s.servedPerObj) > len(s.objLoad) {
-		grown := make([]float64, len(s.servedPerObj))
-		copy(grown, s.objLoad)
-		s.objLoad = grown
+		s.objLoad = growTo(s.objLoad, len(s.servedPerObj))
 	}
 	for _, id := range s.servedTouched {
 		s.objLoad[id] = float64(s.servedPerObj[id]) / secs

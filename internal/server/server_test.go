@@ -19,15 +19,15 @@ func newServer(t *testing.T, capacity float64) *Server {
 
 func TestFCFSQueueing(t *testing.T) {
 	s := newServer(t, 200) // 5ms service time
-	d1 := s.Enqueue(0)
+	d1 := s.Enqueue(0, 0)
 	if d1 != 5*time.Millisecond {
 		t.Fatalf("first completion = %v, want 5ms", d1)
 	}
-	d2 := s.Enqueue(time.Millisecond) // arrives while busy
+	d2 := s.Enqueue(time.Millisecond, 0) // arrives while busy
 	if d2 != 10*time.Millisecond {
 		t.Fatalf("second completion = %v, want 10ms (queued)", d2)
 	}
-	d3 := s.Enqueue(time.Second) // arrives idle
+	d3 := s.Enqueue(time.Second, 0) // arrives idle
 	if d3 != time.Second+5*time.Millisecond {
 		t.Fatalf("third completion = %v, want 1.005s", d3)
 	}
@@ -35,15 +35,15 @@ func TestFCFSQueueing(t *testing.T) {
 
 func TestQueueDelayAndLength(t *testing.T) {
 	s := newServer(t, 100) // 10ms
-	s.Enqueue(0)
-	s.Enqueue(0)
+	s.Enqueue(0, 0)
+	s.Enqueue(0, 0)
 	if got := s.QueueDelay(0); got != 20*time.Millisecond {
 		t.Fatalf("QueueDelay = %v, want 20ms", got)
 	}
 	if got := s.QueueLen(); got != 2 {
 		t.Fatalf("QueueLen = %d, want 2", got)
 	}
-	s.OnServed(10*time.Millisecond, 1)
+	s.OnServed(1)
 	if got := s.QueueLen(); got != 1 {
 		t.Fatalf("QueueLen after completion = %d, want 1", got)
 	}
@@ -58,7 +58,7 @@ func TestQueueDelayAndLength(t *testing.T) {
 func TestLoadMeasurement(t *testing.T) {
 	s := newServer(t, 200)
 	for i := 0; i < 100; i++ {
-		s.OnServed(time.Duration(i)*100*time.Millisecond, object.ID(i%2))
+		s.OnServed(object.ID(i % 2))
 	}
 	if got := s.Load(); got != 0 {
 		t.Fatalf("load before first interval close = %v, want 0", got)
@@ -99,9 +99,9 @@ func TestLoadReflectsCapacityUnderOverload(t *testing.T) {
 	now := time.Duration(0)
 	served := 0
 	for i := 0; i < 8000; i++ { // 400/s for 20s
-		done := s.Enqueue(now)
+		done := s.Enqueue(now, 0)
 		if done <= 20*time.Second {
-			s.OnServed(done, 0)
+			s.OnServed(0)
 			served++
 		}
 		now += 2500 * time.Microsecond
@@ -114,7 +114,7 @@ func TestLoadReflectsCapacityUnderOverload(t *testing.T) {
 
 func TestCloseIntervalZeroLength(t *testing.T) {
 	s := newServer(t, 200)
-	s.OnServed(0, 1)
+	s.OnServed(1)
 	s.CloseInterval(0) // zero-length: keep previous measurement
 	if got := s.Load(); got != 0 {
 		t.Fatalf("load = %v, want unchanged 0", got)
@@ -124,11 +124,11 @@ func TestCloseIntervalZeroLength(t *testing.T) {
 func TestTotalServed(t *testing.T) {
 	s := newServer(t, 200)
 	for i := 0; i < 7; i++ {
-		s.OnServed(0, 0)
+		s.OnServed(0)
 	}
 	s.CloseInterval(20 * time.Second)
 	for i := 0; i < 3; i++ {
-		s.OnServed(21*time.Second, 0)
+		s.OnServed(0)
 	}
 	if got := s.TotalServed(); got != 10 {
 		t.Fatalf("TotalServed = %d, want 10 across intervals", got)
@@ -175,10 +175,10 @@ func TestQueueInvariantsProperty(t *testing.T) {
 			now += time.Duration(rng.Intn(20)) * time.Millisecond
 			// Complete any services that finished by now.
 			for len(pending) > 0 && pending[0] <= now {
-				s.OnServed(pending[0], object.ID(rng.Intn(5)))
+				s.OnServed(object.ID(rng.Intn(5)))
 				pending = pending[1:]
 			}
-			done := s.Enqueue(now)
+			done := s.Enqueue(now, 0)
 			if done < now+s.ServiceTime() {
 				t.Fatalf("seed %d: completion %v before arrival+service", seed, done)
 			}
@@ -200,7 +200,7 @@ func TestLoadAttributionSumsToTotal(t *testing.T) {
 	s := newServer(t, 200)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 500; i++ {
-		s.OnServed(time.Duration(i)*time.Millisecond, object.ID(rng.Intn(17)))
+		s.OnServed(object.ID(rng.Intn(17)))
 	}
 	s.CloseInterval(20 * time.Second)
 	sum := 0.0
@@ -209,5 +209,19 @@ func TestLoadAttributionSumsToTotal(t *testing.T) {
 	}
 	if diff := sum - s.Load(); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("object loads sum %v != total %v", sum, s.Load())
+	}
+}
+
+// TestEnqueueStorageCost: a storage cost extends the request's occupancy
+// of the server, backing up the FCFS queue like slow service.
+func TestEnqueueStorageCost(t *testing.T) {
+	s := newServer(t, 200) // 5ms service time
+	d1 := s.Enqueue(0, 5*time.Millisecond)
+	if d1 != 10*time.Millisecond {
+		t.Fatalf("first completion = %v, want 10ms (5ms service + 5ms storage)", d1)
+	}
+	d2 := s.Enqueue(0, 0)
+	if d2 != 15*time.Millisecond {
+		t.Fatalf("second completion = %v, want 15ms (queued behind storage)", d2)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"radar/internal/protocol"
 	"radar/internal/server"
 	"radar/internal/simnet"
+	"radar/internal/store"
 	"radar/internal/topology"
 	"radar/internal/workload"
 )
@@ -108,6 +109,12 @@ type Config struct {
 	// zero value disables injection and leaves the run bit-identical to a
 	// build without the fault subsystem.
 	Faults fault.Spec
+	// Store describes each host's replica-storage backend stack (see
+	// internal/store). The zero value is the plain unbounded memory
+	// stack, which keeps runs byte-identical to builds without the store
+	// subsystem; non-default stacks charge per-read storage costs into
+	// the FCFS servers and surface per-layer counters in Results.
+	Store store.Spec
 	// Ctrl tunes the unreliable control plane's RPC retry behavior and
 	// reconciliation cadence. Only consulted when Faults carries message-
 	// fault terms (drop/dup/cdelay); the zero value selects the documented

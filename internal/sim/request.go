@@ -108,8 +108,11 @@ func (r *request) Fire(now time.Duration) {
 		}
 		// Reserve the completion's time and FIFO tie-break position at the
 		// exact point it used to be scheduled, but defer the actual queue
-		// insertion to the per-server FIFO (see reqFIFO).
-		r.doneAt = s.servers[r.h].Enqueue(now)
+		// insertion to the per-server FIFO (see reqFIFO). The storage
+		// backend charges its per-read cost here, at admission, so the
+		// stack's state (cache residency, outage windows) advances in
+		// arrival order — a deterministic sequence.
+		r.doneAt = s.servers[r.h].Enqueue(now, s.stores[r.h].ServeCost(now, r.id))
 		r.phase = reqDone
 		r.seq = s.engine.ReserveSeq()
 		q := &s.svcQueue[r.h]
@@ -134,7 +137,7 @@ func (r *request) Fire(now time.Duration) {
 			s.releaseRequest(r)
 			return
 		}
-		s.servers[r.h].OnServed(now, r.id)
+		s.servers[r.h].OnServed(r.id)
 		s.hosts[r.h].OnRequest(r.id, r.g)
 		path := s.routes.PreferencePath(r.h, r.g)
 		if s.haveLinkFaults && !s.net.PathUp(path) {

@@ -6,6 +6,7 @@ import (
 	"radar/internal/ctrlplane"
 	"radar/internal/metrics"
 	"radar/internal/protocol"
+	"radar/internal/store"
 	"radar/internal/topology"
 )
 
@@ -113,6 +114,16 @@ type Results struct {
 	// the horizon); ReconcileByteHops is their digest traffic in byte×hops.
 	ReconcileRuns     int64
 	ReconcileByteHops int64
+
+	// Replica-storage backend stack. StoreEnabled records whether a
+	// non-default stack was configured; the default unbounded memory
+	// stack keeps it false and reports omit the storage section, keeping
+	// default output byte-identical to earlier builds. StoreLayers is the
+	// fleet-aggregated per-layer counter view (populated even for the
+	// default stack; it then carries only serve counts).
+	StoreEnabled bool
+	StoreSpec    string
+	StoreLayers  []store.LayerStats
 
 	Counters  metrics.Counters
 	HostStats []protocol.HostStats

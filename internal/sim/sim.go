@@ -14,6 +14,7 @@ import (
 	"radar/internal/server"
 	"radar/internal/simevent"
 	"radar/internal/simnet"
+	"radar/internal/store"
 	"radar/internal/substrate"
 	"radar/internal/topology"
 	"radar/internal/workload"
@@ -30,6 +31,7 @@ type Simulation struct {
 
 	servers []*server.Server
 	hosts   []*protocol.Host
+	stores  []store.ReplicaStore // one backend stack per host
 	gen     workload.Generator
 
 	redirectors []*protocol.Redirector
@@ -107,6 +109,14 @@ func New(cfg Config) (*Simulation, error) {
 		}
 	}
 	if err := s.armCtrlPlane(); err != nil {
+		return nil, err
+	}
+	s.stores, err = cfg.Store.BuildAll(s.topo.NumNodes(), store.Params{
+		Seed:     cfg.Seed,
+		Horizon:  cfg.Duration,
+		ObjBytes: int64(cfg.Universe.SizeBytes),
+	})
+	if err != nil {
 		return nil, err
 	}
 	if err := s.buildHosts(); err != nil {
@@ -222,6 +232,7 @@ func (s *Simulation) buildHosts() error {
 			CopyObject:       s.copyObject,
 			CanReplicate:     canReplicate,
 			FindRepairTarget: s.findRepairTarget,
+			Store:            s.stores[i],
 			Observer:         obs,
 		}
 		if s.ctrl != nil {
@@ -247,16 +258,19 @@ func (s *Simulation) seedPlacement() {
 		case s.cfg.ReplicateEverywhere:
 			for h := 0; h < n; h++ {
 				s.hosts[h].SeedObject(id)
+				s.stores[h].Create(0, id)
 				s.redirectorFor(id).NotifyReplicaChange(id, topology.NodeID(h), 1)
 			}
 		case s.cfg.InitialPlacement != nil:
 			for _, h := range s.cfg.InitialPlacement[i] {
 				s.hosts[h].SeedObject(id)
+				s.stores[h].Create(0, id)
 				s.redirectorFor(id).NotifyReplicaChange(id, h, 1)
 			}
 		default:
 			home := s.cfg.Universe.HomeNode(id, n)
 			s.hosts[home].SeedObject(id)
+			s.stores[home].Create(0, id)
 			s.redirectorFor(id).NotifyReplicaChange(id, home, 1)
 		}
 	}
@@ -755,6 +769,9 @@ func (s *Simulation) results() *Results {
 		r.ReconcileRuns = s.ctrl.reconcileRuns
 		r.ReconcileByteHops = s.ctrl.reconcileByteHops
 	}
+	r.StoreEnabled = !s.cfg.Store.IsDefault()
+	r.StoreSpec = s.cfg.Store.String()
+	r.StoreLayers = store.Aggregate(s.stores)
 	r.BandwidthStats = metrics.Summarize(r.Bandwidth, 2)
 	r.LatencyStats = metrics.Summarize(r.Latency, 2)
 	r.AdjustmentTime, r.Adjusted = metrics.AdjustmentTime(r.Bandwidth, 1.10)

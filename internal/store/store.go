@@ -1,0 +1,275 @@
+// Package store is the composable replica-storage backend stack: a small
+// ReplicaStore interface extracted from the server and protocol layers
+// (replica create/drop/contains, per-serve storage cost, capacity and
+// per-replica byte accounting), plus a set of stackable decorators in the
+// style of buildbarn's BlobAccess middleware — a bounded memory cache over
+// a slower disk tier, mirrored pairs with on-the-fly read-repair of
+// inconsistencies, per-backend fault injection driven by a reserved PRNG
+// sub-stream, and a metering layer.
+//
+// Determinism contract: a store's behavior is a pure function of its
+// construction parameters and the sequence of (time, object) operations
+// applied to it. Stores hold no global state and draw randomness only from
+// timelines expanded at build time from a reserved stream of the run's
+// seed (internal/fault discipline), so equal seeds give bit-identical
+// behavior at any experiment parallelism. The plain memory store is free:
+// zero serve cost, unbounded capacity, and no randomness, leaving a run
+// over it byte-identical to a build without this package.
+package store
+
+import (
+	"time"
+
+	"radar/internal/object"
+)
+
+// ReplicaStore is one hosting server's replica storage. The simulation
+// keeps exactly one stack per host; calls arrive in nondecreasing virtual
+// time from a single goroutine (stores are not safe for concurrent use,
+// except Metered's counters, which are atomic so shared read-side meters
+// can be hammered under -race).
+type ReplicaStore interface {
+	// Create stores a replica of id at virtual time now. It returns false
+	// when capacity is exhausted (the caller surfaces a storage refusal);
+	// a false return leaves the store unchanged. Creating an already-held
+	// replica is a no-op returning true.
+	Create(now time.Duration, id object.ID) bool
+	// Drop removes the replica of id, if held.
+	Drop(now time.Duration, id object.ID)
+	// Contains reports whether a replica of id is held and servable.
+	Contains(id object.ID) bool
+	// ServeCost charges one read of id and returns the extra service
+	// latency the storage layer adds (zero for resident memory, the device
+	// latency for a disk tier, a refetch penalty for lost replicas).
+	// ServeCost always serves: a request routed here by the control plane
+	// is answered even if the replica must be refetched, so storage faults
+	// surface as latency, never as protocol errors.
+	ServeCost(now time.Duration, id object.ID) time.Duration
+	// CapacityBytes is the storage capacity in bytes; zero means unbounded.
+	CapacityBytes() int64
+	// BytesUsed is the bytes currently occupied by held replicas.
+	BytesUsed() int64
+	// Replicas is the number of held replicas.
+	Replicas() int
+	// Clear drops every held replica (crash data loss).
+	Clear(now time.Duration)
+	// Stats appends this store's per-layer counters to buf in pre-order
+	// (self first, then children) and returns it. The layer order is a
+	// function of the stack shape alone, so same-shaped stacks aggregate
+	// index by index.
+	Stats(buf []LayerStats) []LayerStats
+}
+
+// LayerStats is one stack layer's counters. Fields irrelevant to a layer
+// kind stay zero (a memory tier has no hits or misses; only a cache does).
+type LayerStats struct {
+	// Label identifies the layer within its stack (e.g. "cache",
+	// "mem:64", "disk:5ms").
+	Label string
+	// Creates/Drops/Serves count the layer's operations.
+	Creates int64
+	Drops   int64
+	Serves  int64
+	// Hits/Misses/Evictions are cache-tier counters.
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Repairs counts mirror read-repairs initiated by this layer.
+	Repairs int64
+	// Refetches counts serves answered by refetching a lost or
+	// unavailable replica at the refetch penalty (faulty backends).
+	Refetches int64
+	// Crashes counts backend down-transitions; LostWrites counts creates
+	// absorbed by a crashed backend (the write is acknowledged upstream
+	// but the data never lands — the inconsistency read-repair heals).
+	Crashes    int64
+	LostWrites int64
+	// Replicas/BytesUsed snapshot occupancy at collection time.
+	Replicas  int64
+	BytesUsed int64
+	// CostNanos is the total serve latency this layer contributed.
+	CostNanos int64
+}
+
+// add accumulates o into s, summing counters and occupancy. Labels must
+// match (same stack shape); s keeps its own.
+func (s *LayerStats) add(o LayerStats) {
+	s.Creates += o.Creates
+	s.Drops += o.Drops
+	s.Serves += o.Serves
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Repairs += o.Repairs
+	s.Refetches += o.Refetches
+	s.Crashes += o.Crashes
+	s.LostWrites += o.LostWrites
+	s.Replicas += o.Replicas
+	s.BytesUsed += o.BytesUsed
+	s.CostNanos += o.CostNanos
+}
+
+// Aggregate sums same-shaped per-node stacks layer by layer: the fleet
+// view of a stack's counters. Nil stores are skipped; all non-nil stacks
+// must share one shape.
+func Aggregate(stores []ReplicaStore) []LayerStats {
+	var agg []LayerStats
+	var buf []LayerStats
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		buf = st.Stats(buf[:0])
+		if agg == nil {
+			agg = make([]LayerStats, len(buf))
+			copy(agg, buf)
+			continue
+		}
+		for i := range buf {
+			if i < len(agg) {
+				agg[i].add(buf[i])
+			}
+		}
+	}
+	return agg
+}
+
+// Memory is the baseline resident store: zero serve cost, optional
+// replica-count bound, per-replica byte accounting. It is today's implicit
+// hosting-server storage model made explicit.
+type Memory struct {
+	label    string
+	objBytes int64
+	capacity int // max replicas; 0 = unbounded
+	held     map[object.ID]struct{}
+	stats    LayerStats
+}
+
+// NewMemory builds a memory store holding at most capacity replicas of
+// objBytes each (capacity 0 = unbounded).
+func NewMemory(label string, capacity int, objBytes int64) *Memory {
+	return &Memory{label: label, objBytes: objBytes, capacity: capacity,
+		held: make(map[object.ID]struct{})}
+}
+
+// Create implements ReplicaStore.
+func (m *Memory) Create(_ time.Duration, id object.ID) bool {
+	if _, ok := m.held[id]; ok {
+		return true
+	}
+	if m.capacity > 0 && len(m.held) >= m.capacity {
+		return false
+	}
+	m.held[id] = struct{}{}
+	m.stats.Creates++
+	return true
+}
+
+// Drop implements ReplicaStore.
+func (m *Memory) Drop(_ time.Duration, id object.ID) {
+	if _, ok := m.held[id]; ok {
+		delete(m.held, id)
+		m.stats.Drops++
+	}
+}
+
+// Contains implements ReplicaStore.
+func (m *Memory) Contains(id object.ID) bool {
+	_, ok := m.held[id]
+	return ok
+}
+
+// ServeCost implements ReplicaStore: resident replicas serve for free.
+func (m *Memory) ServeCost(time.Duration, object.ID) time.Duration {
+	m.stats.Serves++
+	return 0
+}
+
+// CapacityBytes implements ReplicaStore.
+func (m *Memory) CapacityBytes() int64 { return int64(m.capacity) * m.objBytes }
+
+// BytesUsed implements ReplicaStore.
+func (m *Memory) BytesUsed() int64 { return int64(len(m.held)) * m.objBytes }
+
+// Replicas implements ReplicaStore.
+func (m *Memory) Replicas() int { return len(m.held) }
+
+// Clear implements ReplicaStore.
+func (m *Memory) Clear(time.Duration) { clear(m.held) }
+
+// Stats implements ReplicaStore.
+func (m *Memory) Stats(buf []LayerStats) []LayerStats {
+	s := m.stats
+	s.Label = m.label
+	s.Replicas = int64(len(m.held))
+	s.BytesUsed = m.BytesUsed()
+	return append(buf, s)
+}
+
+// Disk is an unbounded slow tier: every serve costs a fixed device
+// latency. It models the paper-era "replica on the hosting server's disk"
+// without queueing (the FCFS server model already serializes service).
+type Disk struct {
+	label    string
+	objBytes int64
+	latency  time.Duration
+	held     map[object.ID]struct{}
+	stats    LayerStats
+}
+
+// NewDisk builds a disk tier with the given per-read latency.
+func NewDisk(label string, latency time.Duration, objBytes int64) *Disk {
+	return &Disk{label: label, objBytes: objBytes, latency: latency,
+		held: make(map[object.ID]struct{})}
+}
+
+// Create implements ReplicaStore.
+func (d *Disk) Create(_ time.Duration, id object.ID) bool {
+	if _, ok := d.held[id]; !ok {
+		d.held[id] = struct{}{}
+		d.stats.Creates++
+	}
+	return true
+}
+
+// Drop implements ReplicaStore.
+func (d *Disk) Drop(_ time.Duration, id object.ID) {
+	if _, ok := d.held[id]; ok {
+		delete(d.held, id)
+		d.stats.Drops++
+	}
+}
+
+// Contains implements ReplicaStore.
+func (d *Disk) Contains(id object.ID) bool {
+	_, ok := d.held[id]
+	return ok
+}
+
+// ServeCost implements ReplicaStore: every read pays the device latency.
+func (d *Disk) ServeCost(time.Duration, object.ID) time.Duration {
+	d.stats.Serves++
+	d.stats.CostNanos += int64(d.latency)
+	return d.latency
+}
+
+// CapacityBytes implements ReplicaStore.
+func (d *Disk) CapacityBytes() int64 { return 0 }
+
+// BytesUsed implements ReplicaStore.
+func (d *Disk) BytesUsed() int64 { return int64(len(d.held)) * d.objBytes }
+
+// Replicas implements ReplicaStore.
+func (d *Disk) Replicas() int { return len(d.held) }
+
+// Clear implements ReplicaStore.
+func (d *Disk) Clear(time.Duration) { clear(d.held) }
+
+// Stats implements ReplicaStore.
+func (d *Disk) Stats(buf []LayerStats) []LayerStats {
+	s := d.stats
+	s.Label = d.label
+	s.Replicas = int64(len(d.held))
+	s.BytesUsed = d.BytesUsed()
+	return append(buf, s)
+}

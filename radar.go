@@ -33,6 +33,7 @@ import (
 	"radar/internal/protocol"
 	"radar/internal/report"
 	"radar/internal/sim"
+	"radar/internal/store"
 	"radar/internal/substrate"
 	"radar/internal/topology"
 	"radar/internal/trace"
@@ -104,22 +105,214 @@ var (
 	ErrTraceWriterShared = errors.New("radar: trace writer cannot be shared across concurrent runs")
 	// ErrNoSeeds reports a RunSeeds call with an empty seed list.
 	ErrNoSeeds = errors.New("radar: no seeds")
-	// ErrBadFaultSchedule reports a Config.FaultSchedule that does not
-	// parse or names unknown nodes.
+	// ErrBadFaultSchedule reports a Config.Faults.FaultSchedule that does
+	// not parse or names unknown nodes.
 	ErrBadFaultSchedule = errors.New("radar: bad fault schedule")
-	// ErrBadReplicaFloor reports a negative Config.ReplicaFloor.
-	ErrBadReplicaFloor = errors.New("radar: bad replica floor")
-	// ErrBadAvailabilityWeight reports a Config.AvailabilityWeight outside
-	// [0, 1].
-	ErrBadAvailabilityWeight = errors.New("radar: bad availability weight")
-	// ErrBadCtrlRetries reports a negative Config.CtrlRetries.
-	ErrBadCtrlRetries = errors.New("radar: bad control-plane retry budget")
-	// ErrBadCtrlTimeout reports a negative Config.CtrlTimeout.
-	ErrBadCtrlTimeout = errors.New("radar: bad control-plane timeout")
+	// ErrBadConfig is the umbrella sentinel for out-of-range configuration
+	// values. Every such failure is a *ConfigError wrapping ErrBadConfig,
+	// so errors.Is(err, ErrBadConfig) catches them all and errors.As
+	// recovers the offending field, value and reason.
+	ErrBadConfig = errors.New("radar: bad config")
 )
 
+// Legacy per-field sentinels. Each now wraps ErrBadConfig, so both
+// errors.Is(err, ErrBadReplicaFloor) and errors.Is(err, ErrBadConfig)
+// match the corresponding validation failures — existing callers keep
+// working while new code can catch the whole class at once.
+var (
+	// ErrBadReplicaFloor reports a negative Config.Faults.ReplicaFloor.
+	ErrBadReplicaFloor = fmt.Errorf("%w: bad replica floor", ErrBadConfig)
+	// ErrBadAvailabilityWeight reports a Config.Placement.AvailabilityWeight
+	// outside [0, 1].
+	ErrBadAvailabilityWeight = fmt.Errorf("%w: bad availability weight", ErrBadConfig)
+	// ErrBadCtrlRetries reports a negative Config.Ctrl.CtrlRetries.
+	ErrBadCtrlRetries = fmt.Errorf("%w: bad control-plane retry budget", ErrBadConfig)
+	// ErrBadCtrlTimeout reports a negative Config.Ctrl.CtrlTimeout.
+	ErrBadCtrlTimeout = fmt.Errorf("%w: bad control-plane timeout", ErrBadConfig)
+	// ErrBadStoreSpec reports a Config.Storage.Store term that does not
+	// parse under the replica-storage stack grammar.
+	ErrBadStoreSpec = fmt.Errorf("%w: bad store spec", ErrBadConfig)
+)
+
+// ConfigError reports one configuration field whose value fails
+// validation. It wraps ErrBadConfig and, when the field predates the
+// grouped Config, the field's legacy sentinel — errors.Is matches either,
+// and errors.As extracts the structured detail:
+//
+//	var ce *radar.ConfigError
+//	if errors.As(err, &ce) {
+//	    log.Printf("fix %s: %v (%s)", ce.Field, ce.Value, ce.Reason)
+//	}
+type ConfigError struct {
+	// Field is the grouped path of the offending field, e.g.
+	// "Faults.ReplicaFloor".
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what constraint the value violates.
+	Reason string
+	// legacy is the pre-grouping sentinel for this field, nil for fields
+	// introduced after the redesign.
+	legacy error
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("radar: bad config: %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Unwrap exposes the error's sentinels to errors.Is: always ErrBadConfig,
+// plus the field's legacy sentinel when one exists (the legacy sentinels
+// themselves wrap ErrBadConfig, so either path reaches it).
+func (e *ConfigError) Unwrap() []error {
+	if e.legacy != nil {
+		return []error{ErrBadConfig, e.legacy}
+	}
+	return []error{ErrBadConfig}
+}
+
+// Placement groups the placement-policy knobs. It is embedded in Config,
+// so fields read both grouped (cfg.Placement.Policy) and flat
+// (cfg.Policy) — existing callers keep compiling.
+type Placement struct {
+	// Policy selects the request distribution algorithm.
+	Policy Policy
+	// AvailabilityWeight w in [0, 1] arms the availability-aware placement
+	// objective: replicate/migrate candidates are ordered by a blend of
+	// the paper's farthest-first distance rule (weight 1-w) and a
+	// failure-domain term (weight w) favoring new copies placed far from
+	// the object's existing replicas, floor-threatening migrations are
+	// demoted behind safe candidates, and replica-floor repair becomes
+	// refusal-aware with its accept watermark relaxed from lw toward hw by
+	// w. Zero (the default) keeps the run byte-identical to the paper's
+	// protocol.
+	AvailabilityWeight float64
+}
+
+// Validate checks the placement group in isolation.
+func (p Placement) Validate() error {
+	switch p.Policy {
+	case PolicyPaper, PolicyRoundRobin, PolicyClosest, "":
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownPolicy, p.Policy)
+	}
+	if p.AvailabilityWeight < 0 || p.AvailabilityWeight > 1 || p.AvailabilityWeight != p.AvailabilityWeight {
+		return &ConfigError{
+			Field: "Placement.AvailabilityWeight", Value: p.AvailabilityWeight,
+			Reason: "outside [0, 1]", legacy: ErrBadAvailabilityWeight,
+		}
+	}
+	return nil
+}
+
+// Faults groups the fault-injection and availability knobs. It is
+// embedded in Config, so fields read both grouped
+// (cfg.Faults.FaultSchedule) and flat (cfg.FaultSchedule).
+type Faults struct {
+	// FaultSchedule, when non-empty, enables deterministic fault
+	// injection. Semicolon-separated clauses: "crash:NODE@START[+DOWNTIME]"
+	// crashes a host (omitting the downtime makes it permanent),
+	// "link:A-B@START[+DOWNTIME]" cuts a backbone link, and
+	// "mtbf:DUR; mttr:DUR" (plus "linkmtbf"/"linkmttr") adds stochastic
+	// exponential failure/repair cycles drawn from the run's seed.
+	// Durations use Go syntax ("3m", "90s"). Faults are bit-reproducible:
+	// equal seeds give identical fault timelines, and an empty schedule
+	// leaves the run byte-identical to earlier releases.
+	FaultSchedule string
+	// ReplicaFloor, when > 1, makes the system keep at least that many
+	// replicas per object: the redirector refuses drops below the floor
+	// and hosts re-replicate thinned objects during placement runs (repair
+	// replications, reported separately). Zero or one keeps the paper's
+	// behavior: replicas exist only where demand warrants them.
+	ReplicaFloor int
+}
+
+// Validate checks the faults group in isolation.
+func (f Faults) Validate() error {
+	if f.ReplicaFloor < 0 {
+		return &ConfigError{
+			Field: "Faults.ReplicaFloor", Value: f.ReplicaFloor,
+			Reason: "negative", legacy: ErrBadReplicaFloor,
+		}
+	}
+	if f.FaultSchedule != "" {
+		spec, err := fault.ParseSchedule(f.FaultSchedule)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
+		}
+		if err := spec.Validate(substrate.UUNET().Topo.NumNodes()); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
+		}
+	}
+	return nil
+}
+
+// Ctrl groups the unreliable-control-plane knobs. It is embedded in
+// Config, so fields read both grouped (cfg.Ctrl.CtrlRetries) and flat
+// (cfg.CtrlRetries).
+type Ctrl struct {
+	// CtrlRetries overrides the unreliable control plane's RPC retry
+	// budget (attempts = 1 + retries); CtrlTimeout overrides its
+	// per-attempt timeout. Both only matter when FaultSchedule carries
+	// message-fault clauses (drop/dup/cdelay); zero keeps the defaults
+	// (3 retries, 1s).
+	CtrlRetries int
+	CtrlTimeout time.Duration
+}
+
+// Validate checks the control-plane group in isolation.
+func (c Ctrl) Validate() error {
+	if c.CtrlRetries < 0 {
+		return &ConfigError{
+			Field: "Ctrl.CtrlRetries", Value: c.CtrlRetries,
+			Reason: "negative", legacy: ErrBadCtrlRetries,
+		}
+	}
+	if c.CtrlTimeout < 0 {
+		return &ConfigError{
+			Field: "Ctrl.CtrlTimeout", Value: c.CtrlTimeout,
+			Reason: "negative", legacy: ErrBadCtrlTimeout,
+		}
+	}
+	return nil
+}
+
+// Storage groups the replica-storage stack knobs. It is embedded in
+// Config; the zero value selects the default in-memory backend, which is
+// byte-identical to releases that predate storage modeling.
+type Storage struct {
+	// Store is a replica-storage stack term. The grammar composes
+	// backends and decorators:
+	//
+	//	mem[:CAP]                      in-memory, optional replica capacity
+	//	disk[:LATENCY]                 unbounded, fixed per-serve latency
+	//	cache(mem[:CAP], TERM)        small memory tier over a slower TERM
+	//	mirror(TERM, TERM)            paired backends with read-repair
+	//	faulty(TERM[, mtbf:D][, mttr:D][, penalty:D])
+	//	                               crash/degrade cycles over TERM
+	//	metered(TERM)                 per-layer counters around TERM
+	//
+	// Examples: "mem", "cache(mem:64,disk:5ms)",
+	// "mirror(faulty(mem),mem)". Empty selects the default memory
+	// backend.
+	Store string
+}
+
+// Validate checks the storage group in isolation.
+func (s Storage) Validate() error {
+	if _, err := store.ParseSpec(s.Store); err != nil {
+		return &ConfigError{
+			Field: "Storage.Store", Value: s.Store,
+			Reason: err.Error(), legacy: ErrBadStoreSpec,
+		}
+	}
+	return nil
+}
+
 // Config configures one simulation run. The zero value is not usable;
-// start from DefaultConfig.
+// start from DefaultConfig. Related knobs are grouped into embedded
+// sub-structs (Placement, Faults, Ctrl, Storage); embedding promotes
+// their fields, so both cfg.Placement.Policy and cfg.Policy refer to the
+// same field and pre-grouping callers compile unchanged.
 type Config struct {
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed int64
@@ -136,8 +329,6 @@ type Config struct {
 	HighLoad bool
 	// Static disables dynamic placement (the no-replication baseline).
 	Static bool
-	// Policy selects the request distribution algorithm.
-	Policy Policy
 	// Consistency selects the §5 object category regime.
 	Consistency Consistency
 	// NumRedirectors hash-partitions the URL namespace (default 1).
@@ -157,39 +348,11 @@ type Config struct {
 	// placement protocol event (migrations, replications, drops,
 	// refusals) for offline analysis.
 	TraceWriter io.Writer
-	// FaultSchedule, when non-empty, enables deterministic fault
-	// injection. Semicolon-separated clauses: "crash:NODE@START[+DOWNTIME]"
-	// crashes a host (omitting the downtime makes it permanent),
-	// "link:A-B@START[+DOWNTIME]" cuts a backbone link, and
-	// "mtbf:DUR; mttr:DUR" (plus "linkmtbf"/"linkmttr") adds stochastic
-	// exponential failure/repair cycles drawn from the run's seed.
-	// Durations use Go syntax ("3m", "90s"). Faults are bit-reproducible:
-	// equal seeds give identical fault timelines, and an empty schedule
-	// leaves the run byte-identical to earlier releases.
-	FaultSchedule string
-	// ReplicaFloor, when > 1, makes the system keep at least that many
-	// replicas per object: the redirector refuses drops below the floor
-	// and hosts re-replicate thinned objects during placement runs (repair
-	// replications, reported separately). Zero or one keeps the paper's
-	// behavior: replicas exist only where demand warrants them.
-	ReplicaFloor int
-	// AvailabilityWeight w in [0, 1] arms the availability-aware placement
-	// objective: replicate/migrate candidates are ordered by a blend of
-	// the paper's farthest-first distance rule (weight 1-w) and a
-	// failure-domain term (weight w) favoring new copies placed far from
-	// the object's existing replicas, floor-threatening migrations are
-	// demoted behind safe candidates, and replica-floor repair becomes
-	// refusal-aware with its accept watermark relaxed from lw toward hw by
-	// w. Zero (the default) keeps the run byte-identical to the paper's
-	// protocol.
-	AvailabilityWeight float64
-	// CtrlRetries overrides the unreliable control plane's RPC retry
-	// budget (attempts = 1 + retries); CtrlTimeout overrides its
-	// per-attempt timeout. Both only matter when FaultSchedule carries
-	// message-fault clauses (drop/dup/cdelay); zero keeps the defaults
-	// (3 retries, 1s).
-	CtrlRetries int
-	CtrlTimeout time.Duration
+
+	Placement
+	Faults
+	Ctrl
+	Storage
 }
 
 // DefaultConfig returns the paper's Table 1 configuration under the given
@@ -201,7 +364,7 @@ func DefaultConfig(w Workload) Config {
 		Objects:         10000,
 		ObjectSizeBytes: 12 << 10,
 		Duration:        40 * time.Minute,
-		Policy:          PolicyPaper,
+		Placement:       Placement{Policy: PolicyPaper},
 		Consistency:     ConsistencyNone,
 		NumRedirectors:  1,
 	}
@@ -211,19 +374,16 @@ func DefaultConfig(w Workload) Config {
 // policy and consistency regime and carries usable simulation parameters.
 // Run and RunSeeds validate internally; calling Validate first lets a
 // caller separate configuration errors from execution errors. All
-// returned errors wrap the package's sentinel errors (ErrUnknownWorkload
-// and siblings) or the substrate's validation errors, so errors.Is works.
+// returned errors wrap the package's sentinel errors (ErrUnknownWorkload,
+// ErrBadConfig and siblings) or the substrate's validation errors, so
+// errors.Is works. Each embedded group also validates in isolation via
+// its own Validate method.
 func (c Config) Validate() error {
 	if !knownWorkload(c.Workload) {
 		return fmt.Errorf("%w: %q", ErrUnknownWorkload, c.Workload)
 	}
 	if c.SwitchTo != "" && !knownWorkload(c.SwitchTo) {
 		return fmt.Errorf("%w: switch target %q", ErrUnknownWorkload, c.SwitchTo)
-	}
-	switch c.Policy {
-	case PolicyPaper, PolicyRoundRobin, PolicyClosest, "":
-	default:
-		return fmt.Errorf("%w: %q", ErrUnknownPolicy, c.Policy)
 	}
 	switch c.Consistency {
 	case ConsistencyNone, ConsistencyMixed, "":
@@ -243,28 +403,16 @@ func (c Config) Validate() error {
 	if c.SwitchAt < 0 {
 		return fmt.Errorf("radar: negative switch time %v", c.SwitchAt)
 	}
-	if c.ReplicaFloor < 0 {
-		return fmt.Errorf("%w: %d is negative", ErrBadReplicaFloor, c.ReplicaFloor)
+	if err := c.Placement.Validate(); err != nil {
+		return err
 	}
-	if c.AvailabilityWeight < 0 || c.AvailabilityWeight > 1 || c.AvailabilityWeight != c.AvailabilityWeight {
-		return fmt.Errorf("%w: %v outside [0, 1]", ErrBadAvailabilityWeight, c.AvailabilityWeight)
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
-	if c.CtrlRetries < 0 {
-		return fmt.Errorf("%w: %d is negative", ErrBadCtrlRetries, c.CtrlRetries)
+	if err := c.Ctrl.Validate(); err != nil {
+		return err
 	}
-	if c.CtrlTimeout < 0 {
-		return fmt.Errorf("%w: %v is negative", ErrBadCtrlTimeout, c.CtrlTimeout)
-	}
-	if c.FaultSchedule != "" {
-		spec, err := fault.ParseSchedule(c.FaultSchedule)
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
-		}
-		if err := spec.Validate(substrate.UUNET().Topo.NumNodes()); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
-		}
-	}
-	return nil
+	return c.Storage.Validate()
 }
 
 // knownWorkload reports whether w names one of the package's workloads.
@@ -367,6 +515,43 @@ type Summary struct {
 	OrphansHealed     int64
 	ReconcileRuns     int64
 	ReconcileByteHops int64
+	// Replica-storage stack aggregates, summed across all hosts and stack
+	// layers; all zero unless Config.Storage selects a non-default stack.
+	// StoreEnabled records whether one was configured; StoreSpec is its
+	// canonical term. Per-layer breakdowns are in Result.StoreLayers
+	// (Summary stays comparable with ==, so only scalars live here).
+	StoreEnabled    bool
+	StoreSpec       string
+	StoreHits       int64
+	StoreMisses     int64
+	StoreEvictions  int64
+	StoreRepairs    int64
+	StoreRefetches  int64
+	StoreCrashes    int64
+	StoreLostWrites int64
+}
+
+// StoreLayer is one layer of the replica-storage stack's per-layer
+// accounting, summed across hosts, in the stack's pre-order (a decorator
+// precedes the backends it wraps).
+type StoreLayer struct {
+	// Label names the layer kind: mem, disk, cache, mirror, faulty, or a
+	// metered layer's custom label.
+	Label string
+	// Creates/Drops/Serves count replica installs, removals and request
+	// servings at this layer.
+	Creates, Drops, Serves int64
+	// Hits/Misses/Evictions are cache-tier counters.
+	Hits, Misses, Evictions int64
+	// Repairs counts mirror read-repairs; Refetches counts serves a
+	// faulty layer satisfied at its refetch penalty.
+	Repairs, Refetches int64
+	// Crashes/LostWrites count a faulty layer's outages and the creates
+	// acknowledged during them.
+	Crashes, LostWrites int64
+	// Replicas/BytesUsed are the layer's final occupancy; CostNanos
+	// accrues every serve's storage latency.
+	Replicas, BytesUsed, CostNanos int64
 }
 
 // Result is everything one run produces.
@@ -380,6 +565,9 @@ type Result struct {
 	MaxLoad     []Point
 	// HostLoad is the Figure 8b trace for the tracked host.
 	HostLoad []LoadSample
+	// StoreLayers is the replica-storage stack's per-layer accounting,
+	// empty unless Config.Storage selected a non-default stack.
+	StoreLayers []StoreLayer
 
 	raw *sim.Results
 }
@@ -484,7 +672,7 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 		simCfg.Protocol = protocol.HighLoadParams()
 	}
 	simCfg.DynamicPlacement = !cfg.Static
-	switch cfg.Policy {
+	switch cfg.Placement.Policy {
 	case PolicyPaper, "":
 		simCfg.Policy = protocol.PolicyPaper
 	case PolicyRoundRobin:
@@ -492,7 +680,7 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 	case PolicyClosest:
 		simCfg.Policy = protocol.PolicyClosest
 	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.Policy)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.Placement.Policy)
 	}
 	switch cfg.Consistency {
 	case ConsistencyNone, "":
@@ -522,17 +710,25 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 	if cfg.TraceWriter != nil {
 		simCfg.ExtraObserver = trace.NewWriter(cfg.TraceWriter)
 	}
-	if cfg.FaultSchedule != "" {
-		spec, err := fault.ParseSchedule(cfg.FaultSchedule)
+	if cfg.Faults.FaultSchedule != "" {
+		spec, err := fault.ParseSchedule(cfg.Faults.FaultSchedule)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadFaultSchedule, err)
 		}
 		simCfg.Faults = spec
 	}
-	simCfg.Protocol.ReplicaFloor = cfg.ReplicaFloor
-	simCfg.Protocol.AvailabilityWeight = cfg.AvailabilityWeight
-	simCfg.Ctrl.Retries = cfg.CtrlRetries
-	simCfg.Ctrl.Timeout = cfg.CtrlTimeout
+	simCfg.Protocol.ReplicaFloor = cfg.Faults.ReplicaFloor
+	simCfg.Protocol.AvailabilityWeight = cfg.Placement.AvailabilityWeight
+	simCfg.Ctrl.Retries = cfg.Ctrl.CtrlRetries
+	simCfg.Ctrl.Timeout = cfg.Ctrl.CtrlTimeout
+	storeSpec, err := store.ParseSpec(cfg.Storage.Store)
+	if err != nil {
+		return nil, &ConfigError{
+			Field: "Storage.Store", Value: cfg.Storage.Store,
+			Reason: err.Error(), legacy: ErrBadStoreSpec,
+		}
+	}
+	simCfg.Store = storeSpec
 	return &simCfg, nil
 }
 
@@ -616,6 +812,27 @@ func convert(res *sim.Results) *Result {
 	r.HostLoad = make([]LoadSample, len(res.HostLoad))
 	for i, s := range res.HostLoad {
 		r.HostLoad[i] = LoadSample{T: s.T, Actual: s.Actual, Lower: s.Lower, Upper: s.Upper}
+	}
+	if res.StoreEnabled {
+		r.Summary.StoreEnabled = true
+		r.Summary.StoreSpec = res.StoreSpec
+		r.StoreLayers = make([]StoreLayer, len(res.StoreLayers))
+		for i, l := range res.StoreLayers {
+			r.StoreLayers[i] = StoreLayer{
+				Label: l.Label, Creates: l.Creates, Drops: l.Drops, Serves: l.Serves,
+				Hits: l.Hits, Misses: l.Misses, Evictions: l.Evictions,
+				Repairs: l.Repairs, Refetches: l.Refetches,
+				Crashes: l.Crashes, LostWrites: l.LostWrites,
+				Replicas: l.Replicas, BytesUsed: l.BytesUsed, CostNanos: l.CostNanos,
+			}
+			r.Summary.StoreHits += l.Hits
+			r.Summary.StoreMisses += l.Misses
+			r.Summary.StoreEvictions += l.Evictions
+			r.Summary.StoreRepairs += l.Repairs
+			r.Summary.StoreRefetches += l.Refetches
+			r.Summary.StoreCrashes += l.Crashes
+			r.Summary.StoreLostWrites += l.LostWrites
+		}
 	}
 	return r
 }
