@@ -2,7 +2,7 @@
 // writes JSON artifacts that track them against recorded pre-optimization
 // baselines.
 //
-// Two modes:
+// Three modes:
 //
 //	go run ./cmd/radar-bench -o BENCH_run.json
 //	    one full default-scale Zipf run (Table 1 parameters, 40 simulated
@@ -12,6 +12,13 @@
 //	    a 16-run multi-seed experiment suite (2 seeds x 8 quick-scale
 //	    runs) executed at several parallelism levels, exercising the
 //	    shared substrate cache and the parallel experiment engine
+//
+//	go run ./cmd/radar-bench -mode=bigrun -o BENCH_bigrun.json
+//	    one oversized run (transit-stub backbone, 256 hosts, 100,000
+//	    objects) swept across shard counts 1/2/4/8 of the intra-run
+//	    sharded engine; the artifact records wall/allocs/peak-heap per
+//	    level plus an FNV-64a hash of each level's full Results, and the
+//	    tool fails if any hash diverges (bit-identity is the contract)
 //
 // Wall time is the best of -runs attempts (allocation counts are
 // deterministic across runs; wall time is not). Suite mode also records
@@ -34,6 +41,10 @@ import (
 
 	"radar"
 	"radar/internal/experiments"
+	"radar/internal/object"
+	"radar/internal/sim"
+	"radar/internal/topology"
+	"radar/internal/workload"
 )
 
 // Pre-optimization baseline for -mode=run, measured at commit e306ca4
@@ -121,9 +132,11 @@ type suiteArtifact struct {
 }
 
 func main() {
-	mode := flag.String("mode", "run", "benchmark mode: run (one default-scale run) | suite (16-run multi-seed suite)")
-	out := flag.String("o", "", "output path for the JSON artifact (default BENCH_run.json or BENCH_suite.json by mode)")
-	runs := flag.Int("runs", 0, "attempts; wall time is the best, allocations the last (default 3 for run, 1 for suite)")
+	mode := flag.String("mode", "run", "benchmark mode: run (one default-scale run) | suite (16-run multi-seed suite) | bigrun (256-host shard sweep)")
+	out := flag.String("o", "", "output path for the JSON artifact (default BENCH_<mode>.json)")
+	runs := flag.Int("runs", 0, "attempts; wall time is the best, allocations the last (default 3 for run, 1 for suite and bigrun)")
+	bigObjects := flag.Int("bigrun-objects", 100_000, "bigrun mode: hosted object count (lower it for smoke tests)")
+	bigDuration := flag.Duration("bigrun-duration", 5*time.Minute, "bigrun mode: simulated time span")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measured work to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file before exit")
 	flag.Parse()
@@ -139,8 +152,10 @@ func main() {
 		ok = runMode(orDefault(*out, "BENCH_run.json"), orDefaultInt(*runs, 3))
 	case "suite":
 		ok = suiteMode(orDefault(*out, "BENCH_suite.json"), orDefaultInt(*runs, 1))
+	case "bigrun":
+		ok = bigrunMode(orDefault(*out, "BENCH_bigrun.json"), orDefaultInt(*runs, 1), *bigObjects, *bigDuration)
 	default:
-		fmt.Fprintf(os.Stderr, "radar-bench: unknown mode %q (want run or suite)\n", *mode)
+		fmt.Fprintf(os.Stderr, "radar-bench: unknown mode %q (want run, suite or bigrun)\n", *mode)
 	}
 	stopProf()
 	if !ok {
@@ -312,7 +327,39 @@ func measureSuiteOnce(p int) (suiteMeasurement, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	stopSampler := startHeapSampler()
 
+	opts := experiments.Options{Seed: 1, Quick: true, Parallelism: p}
+	start := time.Now()
+	msr, err := experiments.RunMultiSeed(opts, suiteSeeds, false)
+	wall := time.Since(start)
+	peakHeap := stopSampler()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return suiteMeasurement{}, err
+	}
+
+	var buf bytes.Buffer
+	if err := msr.Table().Render(&buf); err != nil {
+		return suiteMeasurement{}, err
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+
+	return suiteMeasurement{
+		Parallelism: p,
+		WallNS:      int64(wall),
+		Wall:        wall.Round(time.Millisecond).String(),
+		Allocs:      int64(after.Mallocs - before.Mallocs),
+		Bytes:       int64(after.TotalAlloc - before.TotalAlloc),
+		PeakHeap:    peakHeap,
+		TableHash:   fmt.Sprintf("%016x", h.Sum64()),
+	}, nil
+}
+
+// startHeapSampler polls HeapAlloc in the background; the returned stop
+// function ends the sampler and reports the peak it saw.
+func startHeapSampler() func() int64 {
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	var peak atomic.Uint64
@@ -332,34 +379,171 @@ func measureSuiteOnce(p int) (suiteMeasurement, error) {
 			time.Sleep(20 * time.Millisecond)
 		}
 	}()
+	return func() int64 {
+		close(stop)
+		<-done
+		return int64(peak.Load())
+	}
+}
 
-	opts := experiments.Options{Seed: 1, Quick: true, Parallelism: p}
+// bigrunShards is the shard sweep for -mode=bigrun.
+var bigrunShards = []int{1, 2, 4, 8}
+
+// bigrunMeasurement is one shard level's cost in bigrun mode.
+type bigrunMeasurement struct {
+	Shards   int    `json:"shards"`
+	WallNS   int64  `json:"wall_ns"`
+	Wall     string `json:"wall"`
+	Allocs   int64  `json:"allocs"`
+	Bytes    int64  `json:"bytes"`
+	PeakHeap int64  `json:"peak_heap_bytes"`
+	// ResultHash is the FNV-64a hash of the level's full JSON-marshaled
+	// Results; the sharded engine's contract is that it is identical at
+	// every shard count.
+	ResultHash string `json:"result_hash_fnv64a"`
+}
+
+// bigrunArtifact is the BENCH_bigrun.json schema.
+type bigrunArtifact struct {
+	GeneratedBy  string `json:"generated_by"`
+	Topology     string `json:"topology"`
+	Hosts        int    `json:"hosts"`
+	Objects      int    `json:"objects"`
+	Duration     string `json:"simulated_duration"`
+	Seed         int64  `json:"seed"`
+	RunsPerLevel int    `json:"runs_per_level"`
+	// GOMAXPROCS is recorded because the shard workers can only run
+	// concurrently up to this many OS threads; on a single-core machine
+	// the sweep measures barrier/merge overhead, not speedup.
+	GOMAXPROCS  int   `json:"gomaxprocs"`
+	TotalServed int64 `json:"total_served"`
+
+	Levels []bigrunMeasurement `json:"levels"`
+	// HashesMatch is true when every level produced bit-identical Results
+	// (same FNV-64a hash). The tool exits non-zero when it is false.
+	HashesMatch bool `json:"hashes_match"`
+	// SpeedupShards4 is serial wall time over shards=4 wall time.
+	SpeedupShards4 float64 `json:"speedup_shards4_vs_serial"`
+	Note           string  `json:"note,omitempty"`
+}
+
+// bigrunConfig builds the oversized run: a 4-domain transit-stub backbone
+// (4 hubs x 15 stubs per domain = 256 hosts) under a Zipf demand over an
+// outsized object universe, with everything else at Table 1 defaults.
+func bigrunConfig(objects int, duration time.Duration, shards int) (sim.Config, error) {
+	u := object.Universe{Count: objects, SizeBytes: 12 << 10}
+	gen, err := workload.NewZipf(u)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig(gen, 1)
+	cfg.Topo = topology.TransitStub(4, 4, 15)
+	cfg.Universe = u
+	cfg.Duration = duration
+	cfg.Shards = shards
+	return cfg, nil
+}
+
+func bigrunMode(out string, runs, objects int, duration time.Duration) bool {
+	art := bigrunArtifact{
+		GeneratedBy:  "go run ./cmd/radar-bench -mode=bigrun",
+		Topology:     "transit-stub(4 domains, 4 hubs, 15 stubs/hub)",
+		Hosts:        topology.TransitStub(4, 4, 15).NumNodes(),
+		Objects:      objects,
+		Duration:     duration.String(),
+		Seed:         1,
+		RunsPerLevel: runs,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range bigrunShards {
+		var best bigrunMeasurement
+		for i := 0; i < runs; i++ {
+			m, served, err := measureBigrunOnce(objects, duration, shards)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "radar-bench:", err)
+				return false
+			}
+			fmt.Fprintf(os.Stderr, "bigrun shards=%d %d/%d: %v, %d allocs, %d B, peak %d B, results %s\n",
+				shards, i+1, runs, time.Duration(m.WallNS).Round(time.Millisecond), m.Allocs, m.Bytes, m.PeakHeap, m.ResultHash)
+			if best.WallNS == 0 || m.WallNS < best.WallNS {
+				best = m
+			}
+			art.TotalServed = served
+		}
+		art.Levels = append(art.Levels, best)
+	}
+
+	art.HashesMatch = true
+	for _, l := range art.Levels {
+		if l.ResultHash != art.Levels[0].ResultHash {
+			art.HashesMatch = false
+		}
+	}
+	for _, l := range art.Levels {
+		if l.Shards == 4 && l.WallNS > 0 {
+			art.SpeedupShards4 = float64(art.Levels[0].WallNS) / float64(l.WallNS)
+		}
+	}
+	if art.GOMAXPROCS < 2 {
+		art.Note = "single-core environment: shard workers serialize onto one OS thread, so wall times measure sharding overhead, not speedup"
+	}
+	if !writeArtifact(out, art) {
+		return false
+	}
+	fmt.Printf("wrote %s: %d hosts, %d objects, shards 1..8, hashes match %v, shards=4 speedup %.2fx\n",
+		out, art.Hosts, art.Objects, art.HashesMatch, art.SpeedupShards4)
+	if !art.HashesMatch {
+		fmt.Fprintln(os.Stderr, "radar-bench: FAIL: result hashes diverge across shard levels")
+		return false
+	}
+	return true
+}
+
+// measureBigrunOnce executes one oversized run at the given shard count
+// and returns its cost plus the FNV-64a hash of its full Results.
+func measureBigrunOnce(objects int, duration time.Duration, shards int) (bigrunMeasurement, int64, error) {
+	cfg, err := bigrunConfig(objects, duration, shards)
+	if err != nil {
+		return bigrunMeasurement{}, 0, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return bigrunMeasurement{}, 0, err
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	stopSampler := startHeapSampler()
+
 	start := time.Now()
-	msr, err := experiments.RunMultiSeed(opts, suiteSeeds, false)
+	res, err := s.Run()
 	wall := time.Since(start)
-	close(stop)
-	<-done
+	peakHeap := stopSampler()
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		return suiteMeasurement{}, err
+		return bigrunMeasurement{}, 0, err
+	}
+	if res.InvariantsError != nil {
+		return bigrunMeasurement{}, 0, fmt.Errorf("invariants violated: %w", res.InvariantsError)
 	}
 
-	var buf bytes.Buffer
-	if err := msr.Table().Render(&buf); err != nil {
-		return suiteMeasurement{}, err
+	data, err := json.Marshal(res)
+	if err != nil {
+		return bigrunMeasurement{}, 0, err
 	}
 	h := fnv.New64a()
-	h.Write(buf.Bytes())
+	h.Write(data)
 
-	return suiteMeasurement{
-		Parallelism: p,
-		WallNS:      int64(wall),
-		Wall:        wall.Round(time.Millisecond).String(),
-		Allocs:      int64(after.Mallocs - before.Mallocs),
-		Bytes:       int64(after.TotalAlloc - before.TotalAlloc),
-		PeakHeap:    int64(peak.Load()),
-		TableHash:   fmt.Sprintf("%016x", h.Sum64()),
-	}, nil
+	return bigrunMeasurement{
+		Shards:     shards,
+		WallNS:     int64(wall),
+		Wall:       wall.Round(time.Millisecond).String(),
+		Allocs:     int64(after.Mallocs - before.Mallocs),
+		Bytes:      int64(after.TotalAlloc - before.TotalAlloc),
+		PeakHeap:   peakHeap,
+		ResultHash: fmt.Sprintf("%016x", h.Sum64()),
+	}, res.TotalServed, nil
 }
 
 func writeArtifact(out string, art any) bool {

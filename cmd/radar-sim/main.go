@@ -44,6 +44,8 @@ func run() error {
 		redirectors  = flag.Int("redirectors", 1, "number of hash-partitioned redirectors")
 		poisson      = flag.Bool("poisson", false, "Poisson request arrivals instead of constant spacing")
 		contention   = flag.Bool("contention", false, "FIFO link contention instead of fixed per-hop cost")
+		shards       = flag.Int("shards", 0, "serve-plane shards inside each run, bit-identical results (0/1 = serial, -1 = one per region)")
+		shardQuantum = flag.Duration("shard-quantum", 0, "max virtual time between shard barriers (0 = bound by global events only)")
 		csvDir       = flag.String("csv", "", "directory to write per-bucket series CSVs")
 		traceFile    = flag.String("trace", "", "file to write a JSONL placement-event trace")
 		runs         = flag.Int("runs", 1, "number of consecutive-seed runs (run concurrently when > 1)")
@@ -76,6 +78,8 @@ func run() error {
 	cfg.NumRedirectors = *redirectors
 	cfg.PoissonArrivals = *poisson
 	cfg.LinkContention = *contention
+	cfg.Shards = *shards
+	cfg.ShardQuantum = *shardQuantum
 	cfg.Faults.FaultSchedule = *faults
 	cfg.Faults.ReplicaFloor = *replicaFloor
 	cfg.Placement.AvailabilityWeight = *availWeight

@@ -51,6 +51,18 @@ func (h *latencyHist) observe(d time.Duration) {
 	h.count++
 }
 
+// merge folds another histogram's counts into h. Counts are integers, so
+// merging is order-independent.
+func (h *latencyHist) merge(o *latencyHist) {
+	if o.count == 0 {
+		return
+	}
+	for i := range h.bins {
+		h.bins[i] += o.bins[i]
+	}
+	h.count += o.count
+}
+
 // quantile returns an upper-edge estimate of the q-th quantile (0..1);
 // zero when empty.
 func (h *latencyHist) quantile(q float64) float64 {

@@ -239,6 +239,58 @@ func (c *Collector) OnDefer(_ time.Duration, _ object.ID, _, _ topology.NodeID, 
 // Counters returns the accumulated protocol counters.
 func (c *Collector) Counters() Counters { return c.counters }
 
+// ensureBuckets grows the bucketed slices to cover at least n buckets.
+func (c *Collector) ensureBuckets(n int) {
+	for len(c.payloadBH) < n {
+		c.payloadBH = append(c.payloadBH, 0)
+		c.overheadBH = append(c.overheadBH, 0)
+		c.latencySum = append(c.latencySum, 0)
+		c.latencyCnt = append(c.latencyCnt, 0)
+		c.latencyH = append(c.latencyH, latencyHist{})
+		c.failedCnt = append(c.failedCnt, 0)
+	}
+}
+
+// MergeFrom folds another collector's bucketed accumulators, availability
+// sums and counters into c. Both collectors must use the same bucket width.
+//
+// It exists for sharded simulations, whose shard-local collectors only ever
+// accumulate order-independent quantities: integer counts, and byte×hop
+// sums whose float64 adds are exact (byte×hop products are integers far
+// below 2^53), so bucket-wise addition reproduces the serial totals bit for
+// bit. Order-sensitive float sums (latency) are replayed into the main
+// collector in canonical order instead of being merged here, and point-in-
+// time series (max load, host load, replica census, below-floor) are always
+// recorded on the main collector directly — MergeFrom does not merge series
+// samples.
+func (c *Collector) MergeFrom(o *Collector) {
+	if o.bucket != c.bucket {
+		panic(fmt.Sprintf("metrics: merging collectors with different buckets %v and %v", c.bucket, o.bucket))
+	}
+	c.ensureBuckets(len(o.payloadBH))
+	for i := range o.payloadBH {
+		c.payloadBH[i] += o.payloadBH[i]
+		c.overheadBH[i] += o.overheadBH[i]
+		c.latencySum[i] += o.latencySum[i]
+		c.latencyCnt[i] += o.latencyCnt[i]
+		c.latencyH[i].merge(&o.latencyH[i])
+		c.failedCnt[i] += o.failedCnt[i]
+	}
+	c.outages += o.outages
+	c.unavailObjSecs += o.unavailObjSecs
+	c.belowFloorObjSecs += o.belowFloorObjSecs
+	c.counters.GeoMigrations += o.counters.GeoMigrations
+	c.counters.GeoReplications += o.counters.GeoReplications
+	c.counters.LoadMigrations += o.counters.LoadMigrations
+	c.counters.LoadReplications += o.counters.LoadReplications
+	c.counters.Drops += o.counters.Drops
+	c.counters.Refusals += o.counters.Refusals
+	c.counters.Requests += o.counters.Requests
+	c.counters.RepairReplications += o.counters.RepairReplications
+	c.counters.FailedRequests += o.counters.FailedRequests
+	c.counters.DeferredMoves += o.counters.DeferredMoves
+}
+
 // BandwidthSeries returns total (payload+overhead) backbone bandwidth per
 // bucket, in byte×hops per second.
 func (c *Collector) BandwidthSeries() []Point {

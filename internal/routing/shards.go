@@ -1,0 +1,78 @@
+package routing
+
+import "fmt"
+
+// MinGroupDistance returns the k×k matrix of minimum hop distances between
+// node groups: entry [a][b] is the smallest Distance(i, j) over nodes i in
+// group a and j in group b. assign maps each node to its group in [0, k);
+// its length must equal the table's node count. Diagonal entries are 0
+// (every node is at distance 0 from itself).
+//
+// The sharded simulation uses this at freeze time to derive its
+// conservative lookahead bound: any interaction between shard a and shard b
+// crosses at least MinGroupDistance[a][b] links, so it arrives no earlier
+// than that many hop delays after it was sent (see internal/sim's sharded
+// engine and DESIGN.md).
+func (t *Table) MinGroupDistance(assign []int, k int) ([][]int32, error) {
+	if len(assign) != t.n {
+		return nil, fmt.Errorf("routing: group assignment covers %d nodes, table has %d", len(assign), t.n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("routing: group count %d must be positive", k)
+	}
+	for i, g := range assign {
+		if g < 0 || g >= k {
+			return nil, fmt.Errorf("routing: node %d assigned to group %d, want [0,%d)", i, g, k)
+		}
+	}
+	m := make([][]int32, k)
+	backing := make([]int32, k*k)
+	for a := 0; a < k; a++ {
+		m[a] = backing[a*k : (a+1)*k]
+		for b := 0; b < k; b++ {
+			if a != b {
+				m[a][b] = -1
+			}
+		}
+	}
+	for i := 0; i < t.n; i++ {
+		a := assign[i]
+		row := t.dist[i*t.n : (i+1)*t.n]
+		for j := 0; j < t.n; j++ {
+			b := assign[j]
+			if a == b {
+				continue
+			}
+			if d := row[j]; m[a][b] == -1 || d < m[a][b] {
+				m[a][b] = d
+			}
+		}
+	}
+	return m, nil
+}
+
+// MinCrossGroupDistance returns the smallest off-diagonal entry of
+// MinGroupDistance(assign, k): the minimum hop count any cross-group
+// interaction must traverse. With a single group (or when every node is in
+// one group) it returns 0.
+func (t *Table) MinCrossGroupDistance(assign []int, k int) (int, error) {
+	m, err := t.MinGroupDistance(assign, k)
+	if err != nil {
+		return 0, err
+	}
+	best := int32(-1)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a == b || m[a][b] < 0 {
+				continue
+			}
+			if best == -1 || m[a][b] < best {
+				best = m[a][b]
+			}
+		}
+	}
+	if best < 0 {
+		return 0, nil
+	}
+	return int(best), nil
+}

@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"testing"
+
+	"radar/internal/topology"
+)
+
+func TestMinGroupDistanceLine(t *testing.T) {
+	tb := New(topology.Line(4))
+	// Groups {0,1} and {2,3}: closest pair is 1-2, one hop apart.
+	m, err := tb.MinGroupDistance([]int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 0 || m[1][1] != 0 {
+		t.Errorf("diagonal not zero: %v", m)
+	}
+	if m[0][1] != 1 || m[1][0] != 1 {
+		t.Errorf("cross distance %v, want 1", m)
+	}
+	// Groups {0} and {3}: three hops.
+	m, err = tb.MinGroupDistance([]int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	d, err := tb.MinCrossGroupDistance([]int{0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("min cross distance %d, want 1", d)
+	}
+}
+
+func TestMinGroupDistanceClusters(t *testing.T) {
+	// TwoClusters(3): nodes 0-2 meshed, 3-5 meshed, one bridge 0-3.
+	tb := New(topology.TwoClusters(3))
+	d, err := tb.MinCrossGroupDistance([]int{0, 0, 0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("bridge distance %d, want 1", d)
+	}
+	// Exclude the bridge endpoints from the groups' frontier: nodes 1,2
+	// vs 4,5 are >= 3 hops apart (1-0-3-4).
+	d, err = tb.MinCrossGroupDistance([]int{2, 0, 0, 2, 1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("min over all pairs %d, want 1 (0-3 bridge in group 2)", d)
+	}
+}
+
+func TestMinGroupDistanceValidation(t *testing.T) {
+	tb := New(topology.Line(3))
+	if _, err := tb.MinGroupDistance([]int{0, 1}, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := tb.MinGroupDistance([]int{0, 1, 2}, 2); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if _, err := tb.MinGroupDistance([]int{0, 0, 0}, 0); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if d, err := tb.MinCrossGroupDistance([]int{0, 0, 0}, 1); err != nil || d != 0 {
+		t.Errorf("single group: got (%d, %v), want (0, nil)", d, err)
+	}
+}

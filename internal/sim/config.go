@@ -120,6 +120,25 @@ type Config struct {
 	// fault terms (drop/dup/cdelay); the zero value selects the documented
 	// ctrlplane defaults.
 	Ctrl ctrlplane.Params
+	// Shards selects the sharded event engine: the node set is partitioned
+	// into this many shards (along region boundaries) and request
+	// service — arrival, FCFS completion, response delivery — runs
+	// concurrently across shards between deterministic barriers, with
+	// results bit-identical to the serial engine (see shards.go and
+	// DESIGN.md). 0 and 1 select the serial engine (the default, and
+	// byte-identical to builds without the sharding subsystem); -1 selects
+	// one shard per populated region; values above the node count are
+	// clamped. Sharding is incompatible with link contention and with the
+	// consistency/update subsystem, whose cross-host feedback cannot be
+	// partitioned.
+	Shards int
+	// ShardQuantum caps a sharded run's window length: shards synchronize
+	// at least this often in virtual time (and always at global protocol
+	// events — measurement, placement, census, faults, reconciliation —
+	// which bound windows regardless). Zero, the default, lets windows run
+	// to the next global event. Smaller quanta exercise the barrier more;
+	// results are bit-identical at any quantum. Ignored by serial runs.
+	ShardQuantum time.Duration
 	// ExtraObserver, when non-nil, receives every placement protocol
 	// event in addition to the metrics collector — e.g. a trace.Writer.
 	ExtraObserver protocol.Observer
@@ -226,6 +245,23 @@ func (c *Config) Validate() error {
 	}
 	if c.ClientTimeout < 0 {
 		return fmt.Errorf("sim: client timeout %v must be non-negative", c.ClientTimeout)
+	}
+	if c.Shards < -1 {
+		return fmt.Errorf("sim: shard count %d must be -1 (auto), 0/1 (serial) or >= 2", c.Shards)
+	}
+	if c.ShardQuantum < 0 {
+		return fmt.Errorf("sim: shard quantum %v must be non-negative", c.ShardQuantum)
+	}
+	if c.Shards == -1 || c.Shards >= 2 {
+		// The sharded engine partitions per-node state; subsystems with
+		// un-partitionable cross-host feedback on the per-request path are
+		// refused rather than silently run wrong.
+		if c.Net.Contention {
+			return fmt.Errorf("sim: sharded engine is incompatible with link contention (shared busy-until state)")
+		}
+		if c.Consistency != nil || c.Updates.RatePerSec > 0 {
+			return fmt.Errorf("sim: sharded engine is incompatible with the consistency/update subsystem")
+		}
 	}
 	if c.Updates.RatePerSec < 0 {
 		return fmt.Errorf("sim: update rate %v must be non-negative", c.Updates.RatePerSec)

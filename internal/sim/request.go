@@ -2,6 +2,7 @@ package sim
 
 import (
 	"radar/internal/object"
+	"radar/internal/simevent"
 	"radar/internal/simnet"
 	"radar/internal/topology"
 	"time"
@@ -18,9 +19,10 @@ type request struct {
 	g      topology.NodeID // gateway the request entered at
 	h      topology.NodeID // chosen replica host
 	id     object.ID
-	t0     time.Duration // entry time, for end-to-end latency
-	doneAt time.Duration // reserved service completion time (reqDone phase)
-	seq    uint64        // reserved engine sequence number (reqDone phase)
+	t0     time.Duration  // entry time, for end-to-end latency
+	doneAt time.Duration  // reserved service completion time (reqDone phase)
+	seq    uint64         // reserved engine sequence number (reqDone, serial)
+	stamp  simevent.Stamp // reserved wheel stamp (reqDone, sharded)
 	phase  uint8
 }
 
@@ -75,35 +77,26 @@ func (q *reqFIFO) peek() *request {
 	return q.buf[q.head]
 }
 
-// newRequest takes a request from the pool, or allocates one.
-func (s *Simulation) newRequest() *request {
-	if n := len(s.reqFree); n > 0 {
-		r := s.reqFree[n-1]
-		s.reqFree = s.reqFree[:n-1]
-		return r
-	}
-	return &request{}
-}
-
-// releaseRequest returns a finished request to the pool.
-func (s *Simulation) releaseRequest(r *request) {
-	s.reqFree = append(s.reqFree, r)
-}
-
-// Fire implements simevent.Handler.
+// Fire implements simevent.Handler. Everything it touches is either
+// state of the chosen host r.h (server queue, store stack, protocol
+// records) or a sink on r.h's lane, which is what lets the sharded
+// engine run hosts' serve planes concurrently (see shards.go). Serial
+// runs take the ln.wheel == nil paths, which reproduce the original
+// single-engine code exactly.
 func (r *request) Fire(now time.Duration) {
 	s := r.s
+	ln := s.laneOf[r.h]
 	switch r.phase {
 	case reqArrive:
 		if s.down[r.h] {
-			s.droppedChoices++ // chosen replica crashed in flight
-			s.col.RecordFailedRequest(now)
-			s.releaseRequest(r)
+			ln.droppedChoices++ // chosen replica crashed in flight
+			ln.col.RecordFailedRequest(now)
+			ln.release(r)
 			return
 		}
 		if s.cfg.ClientTimeout > 0 && s.servers[r.h].QueueDelay(now) > s.cfg.ClientTimeout {
-			s.timedOut++
-			s.releaseRequest(r)
+			ln.timedOut++
+			ln.release(r)
 			return
 		}
 		// Reserve the completion's time and FIFO tie-break position at the
@@ -114,12 +107,21 @@ func (r *request) Fire(now time.Duration) {
 		// arrival order — a deterministic sequence.
 		r.doneAt = s.servers[r.h].Enqueue(now, s.stores[r.h].ServeCost(now, r.id))
 		r.phase = reqDone
-		r.seq = s.engine.ReserveSeq()
+		if ln.wheel == nil {
+			r.seq = s.engine.ReserveSeq()
+		} else {
+			_, est := ln.wheel.Executing()
+			r.stamp = simevent.Stamp{
+				SchedAt:  now,
+				ParentAt: est.SchedAt,
+				Plane:    simevent.PlaneLocal,
+				Seq:      ln.wheel.NextLocalSeq(),
+			}
+		}
 		q := &s.svcQueue[r.h]
 		q.push(r)
 		if q.len == 1 {
-			// Scheduling forward in time cannot fail.
-			_ = s.engine.ScheduleHandlerReserved(r.doneAt, r.seq, r)
+			ln.scheduleCompletion(r)
 		}
 	case reqDone:
 		// This request is its server's stream head; promote the successor
@@ -128,26 +130,26 @@ func (r *request) Fire(now time.Duration) {
 		q := &s.svcQueue[r.h]
 		q.pop()
 		if next := q.peek(); next != nil {
-			_ = s.engine.ScheduleHandlerReserved(next.doneAt, next.seq, next)
+			ln.scheduleCompletion(next)
 		}
 		if s.down[r.h] {
 			// Host crashed while this request sat in its queue: the work
 			// dies with the server; the client never hears back.
-			s.col.RecordFailedRequest(now)
-			s.releaseRequest(r)
+			ln.col.RecordFailedRequest(now)
+			ln.release(r)
 			return
 		}
 		s.servers[r.h].OnServed(r.id)
 		s.hosts[r.h].OnRequest(r.id, r.g)
 		path := s.routes.PreferencePath(r.h, r.g)
-		if s.haveLinkFaults && !s.net.PathUp(path) {
+		if s.haveLinkFaults && !ln.net.PathUp(path) {
 			// Response path severed: bytes never reach the gateway.
-			s.col.RecordFailedRequest(now)
-			s.releaseRequest(r)
+			ln.col.RecordFailedRequest(now)
+			ln.release(r)
 			return
 		}
-		deliver := s.net.Transfer(now, path, int64(s.cfg.Universe.SizeBytes), simnet.Payload)
-		s.col.RecordLatency(deliver, deliver-r.t0)
-		s.releaseRequest(r)
+		deliver := ln.net.Transfer(now, path, int64(s.cfg.Universe.SizeBytes), simnet.Payload)
+		ln.recordLatency(deliver, deliver-r.t0)
+		ln.release(r)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"radar/internal/metrics"
@@ -36,8 +37,22 @@ type Simulation struct {
 
 	redirectors []*protocol.Redirector
 	rngs        []*rand.Rand // one request stream per gateway
-	reqFree     []*request   // recycled in-flight request events
 	svcQueue    []reqFIFO    // deferred FCFS completions, one FIFO per server
+
+	// Sharded-engine state (see shards.go). laneOf maps every node to its
+	// execution lane; serial runs point every node at the single main lane,
+	// whose sinks alias col/net above, so the per-request code is the same
+	// in both modes. dispEng carries the generator/redirector dispatch
+	// plane: the main engine when serial, a dedicated serial engine when
+	// sharded.
+	sharded   bool
+	lanes     []*lane
+	laneOf    []*lane
+	disp      *lane
+	dispEng   *simevent.Engine
+	dispSeq   uint64
+	shardOf   []int
+	lookahead time.Duration
 
 	droppedChoices    int64
 	timedOut          int64
@@ -129,6 +144,9 @@ func New(cfg Config) (*Simulation, error) {
 	s.rngs = make([]*rand.Rand, n)
 	for i := 0; i < n; i++ {
 		s.rngs[i] = workload.Stream(cfg.Seed, uint64(i))
+	}
+	if err := s.initLanes(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -476,17 +494,28 @@ func (s *Simulation) RunContext(ctx context.Context) (*Results, error) {
 		}
 	}
 	if done := ctx.Done(); done != nil {
-		s.engine.SetInterrupt(0, func() bool {
+		poll := func() bool {
 			select {
 			case <-done:
 				return true
 			default:
 				return false
 			}
-		})
+		}
+		s.engine.SetInterrupt(0, poll)
 		defer s.engine.SetInterrupt(0, nil)
+		if s.dispEng != s.engine {
+			s.dispEng.SetInterrupt(0, poll)
+			defer s.dispEng.SetInterrupt(0, nil)
+		}
 	}
-	s.engine.Run(s.cfg.Duration)
+	if s.sharded {
+		if err := s.runSharded(ctx); err != nil {
+			return nil, err
+		}
+	} else {
+		s.engine.Run(s.cfg.Duration)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -509,9 +538,13 @@ func (s *Simulation) scheduleGenerators() error {
 		}
 		spacing := time.Duration(float64(time.Second) / rate)
 		phase := spacing * time.Duration(i) / time.Duration(n)
+		// schedAt tracks when this emit was (re)scheduled — the instant its
+		// serial sequence number was assigned. Sharded runs stamp it onto
+		// deliveries as the tie-breaking ParentAt (see shards.go).
+		schedAt := time.Duration(0)
 		var emit simevent.Event
 		emit = func(now time.Duration) {
-			s.dispatch(now, g, s.gen.Next(g, s.rngs[g]))
+			s.dispatch(now, schedAt, g, s.gen.Next(g, s.rngs[g]))
 			next := spacing
 			if s.cfg.PoissonArrivals {
 				next = time.Duration(s.rngs[g].ExpFloat64() * float64(spacing))
@@ -520,11 +553,12 @@ func (s *Simulation) scheduleGenerators() error {
 				}
 			}
 			if now+next <= s.cfg.Duration {
+				schedAt = now
 				// Rescheduling forward in time cannot fail.
-				_ = s.engine.Schedule(now+next, emit)
+				_ = s.dispEng.Schedule(now+next, emit)
 			}
 		}
-		if err := s.engine.Schedule(phase, emit); err != nil {
+		if err := s.dispEng.Schedule(phase, emit); err != nil {
 			return fmt.Errorf("sim: scheduling generator %d: %w", i, err)
 		}
 	}
@@ -533,8 +567,10 @@ func (s *Simulation) scheduleGenerators() error {
 
 // dispatch runs one request through the paper's pipeline: gateway ->
 // redirector (UDP, latency only) -> chosen host (UDP) -> FCFS service ->
-// response along the preference path back to the gateway.
-func (s *Simulation) dispatch(t0 time.Duration, g topology.NodeID, id object.ID) {
+// response along the preference path back to the gateway. schedAt is the
+// instant the calling emit event was scheduled; serial runs ignore it,
+// sharded runs fold it into the delivery's ordering stamp.
+func (s *Simulation) dispatch(t0, schedAt time.Duration, g topology.NodeID, id object.ID) {
 	red := s.redirectorFor(id)
 	if s.haveLinkFaults && !s.net.PathUp(s.routes.Path(g, red.Location)) {
 		s.col.RecordFailedRequest(t0) // redirector unreachable: request lost
@@ -551,10 +587,26 @@ func (s *Simulation) dispatch(t0 time.Duration, g topology.NodeID, id object.ID)
 		return
 	}
 	t2 := s.net.ControlLatency(t1, s.routes.Distance(red.Location, h))
-	r := s.newRequest()
+	r := s.disp.newRequest()
 	*r = request{s: s, g: g, h: h, id: id, t0: t0, phase: reqArrive}
-	// Scheduling forward in time cannot fail.
-	_ = s.engine.ScheduleHandler(t2, r)
+	if !s.sharded {
+		// Scheduling forward in time cannot fail.
+		_ = s.engine.ScheduleHandler(t2, r)
+		return
+	}
+	// Deliver into the chosen host's shard wheel. The stamp reconstructs
+	// the serial engine's tie-breaking order: dispatch runs serially, so
+	// dispSeq is exactly the order arrivals would have drawn sequence
+	// numbers, and (t0, schedAt) resolves ties against shard-local events
+	// stamped elsewhere. The wheel asserts t2 is outside the shard's
+	// committed window — the lookahead invariant.
+	s.dispSeq++
+	s.laneOf[r.h].wheel.Push(t2, simevent.Stamp{
+		SchedAt:  t0,
+		ParentAt: schedAt,
+		Plane:    simevent.PlaneDelivery,
+		Seq:      s.dispSeq,
+	}, r)
 }
 
 // scheduleMeasurement drives the periodic load measurement (paper §2.1):
@@ -706,6 +758,9 @@ func (s *Simulation) trimSeries(points []metrics.Point) []metrics.Point {
 
 // results assembles the run's outputs.
 func (s *Simulation) results() *Results {
+	// Fold shard lanes' commutative accumulators into the main sinks
+	// before anything below reads them (no-op for serial runs).
+	s.mergeLanes()
 	// A final anti-entropy pass closes the run: any orphan or stale record
 	// left by notifications lost since the last tick is healed before the
 	// invariant check, mirroring what the next periodic pass would do.
@@ -713,11 +768,19 @@ func (s *Simulation) results() *Results {
 		s.reconcile(s.cfg.Duration)
 	}
 	// Close outage windows still open at the horizon so object-seconds of
-	// unavailability are complete. Map order does not matter: windows only
-	// accumulate into order-independent sums.
-	for id, start := range s.outageStart {
-		s.col.RecordOutageWindow(start, s.cfg.Duration)
-		delete(s.outageStart, id)
+	// unavailability are complete — in sorted object order, because the
+	// windows accumulate into a floating-point sum and map iteration
+	// order would otherwise leak into the result's low bits.
+	if len(s.outageStart) > 0 {
+		open := make([]object.ID, 0, len(s.outageStart))
+		for id := range s.outageStart {
+			open = append(open, id)
+		}
+		sort.Slice(open, func(i, j int) bool { return open[i] < open[j] })
+		for _, id := range open {
+			s.col.RecordOutageWindow(s.outageStart[id], s.cfg.Duration)
+			delete(s.outageStart, id)
+		}
 	}
 	r := &Results{
 		WorkloadName:      s.cfg.Workload.Name(),

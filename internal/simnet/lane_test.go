@@ -1,0 +1,81 @@
+package simnet
+
+import (
+	"testing"
+)
+
+// TestLaneAccountingMerges checks a lane accumulates traffic privately
+// (totals, link bytes) and MergeFrom folds it into the parent so the
+// combined accounting equals a single-network run.
+func TestLaneAccountingMerges(t *testing.T) {
+	cfg := DefaultConfig()
+	direct, err := New(cfg, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := New(cfg, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := parent.Lane(nil)
+
+	direct.Transfer(0, path(0, 1, 2), 100, Payload)
+	direct.Transfer(0, path(2, 3), 50, Overhead)
+	parent.Transfer(0, path(0, 1, 2), 100, Payload)
+	lane.Transfer(0, path(2, 3), 50, Overhead)
+
+	if got := parent.OverheadByteHops(); got != 0 {
+		t.Fatalf("lane traffic leaked into parent before merge: %d", got)
+	}
+	parent.MergeFrom(lane)
+	if parent.PayloadByteHops() != direct.PayloadByteHops() {
+		t.Errorf("payload byte-hops %d, want %d", parent.PayloadByteHops(), direct.PayloadByteHops())
+	}
+	if parent.OverheadByteHops() != direct.OverheadByteHops() {
+		t.Errorf("overhead byte-hops %d, want %d", parent.OverheadByteHops(), direct.OverheadByteHops())
+	}
+	if parent.LinkBytes(2, 3) != direct.LinkBytes(2, 3) {
+		t.Errorf("link 2->3 bytes %d, want %d", parent.LinkBytes(2, 3), direct.LinkBytes(2, 3))
+	}
+}
+
+// TestLaneSharesLinkState checks link up/down state is shared between a
+// network and its lanes: the fault plane flips links on the parent and
+// every lane's path checks must observe it.
+func TestLaneSharesLinkState(t *testing.T) {
+	parent, err := New(DefaultConfig(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := parent.Lane(nil)
+	parent.SetLinkDown(1, 2, true)
+	if lane.PathUp(path(0, 1, 2)) {
+		t.Error("lane did not observe link 1-2 down")
+	}
+	// SetLinkDown cuts both directions, so one undirected cut is two
+	// directed down links.
+	if !lane.LinkIsDown(1, 2) || lane.DownLinks() != 2 {
+		t.Error("lane link-state accessors out of sync with parent")
+	}
+	parent.SetLinkDown(1, 2, false)
+	if !lane.PathUp(path(0, 1, 2)) {
+		t.Error("lane did not observe link 1-2 recovery")
+	}
+}
+
+// TestLaneRefusesContention pins the documented restriction: lanes carry
+// no shared busy-until state, so a contended network cannot shard.
+func TestLaneRefusesContention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Contention = true
+	nw, err := New(cfg, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Lane() on a contended network did not panic")
+		}
+	}()
+	nw.Lane(nil)
+}

@@ -89,6 +89,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// linkState is the link up/down state of a network, shared between a
+// network and its accounting lanes (see Lane): fault injection cuts a link
+// once, on the authoritative network, and every lane observes it.
+type linkState struct {
+	// down[a*n+b] marks a cut directed link (fault injection); allocated
+	// lazily on the first SetLinkDown so fault-free runs pay nothing.
+	// Routing tables are immutable, so a down link drops the traffic whose
+	// path crosses it instead of triggering rerouting.
+	down      []bool
+	downLinks int
+}
+
 // Network charges transfers along precomputed paths and accounts traffic.
 type Network struct {
 	cfg      Config
@@ -100,12 +112,8 @@ type Network struct {
 	// linkBytes[a*n+b] accumulates bytes sent over each directed link,
 	// for hot-link reports.
 	linkBytes []int64
-	// linkDown[a*n+b] marks a cut directed link (fault injection);
-	// allocated lazily on the first SetLinkDown so fault-free runs pay
-	// nothing. Routing tables are immutable, so a down link drops the
-	// traffic whose path crosses it instead of triggering rerouting.
-	linkDown  []bool
-	downLinks int
+	// links is the shared up/down state; lanes alias their parent's.
+	links *linkState
 	// totals by class.
 	payloadByteHops  int64
 	overheadByteHops int64
@@ -119,11 +127,45 @@ func New(cfg Config, numNodes int, recorder Recorder) (*Network, error) {
 	if numNodes <= 0 {
 		return nil, fmt.Errorf("simnet: numNodes %d must be positive", numNodes)
 	}
-	n := &Network{cfg: cfg, n: numNodes, recorder: recorder, linkBytes: make([]int64, numNodes*numNodes)}
+	n := &Network{cfg: cfg, n: numNodes, recorder: recorder, linkBytes: make([]int64, numNodes*numNodes), links: &linkState{}}
 	if cfg.Contention {
 		n.busyUntil = make([]time.Duration, numNodes*numNodes)
 	}
 	return n, nil
+}
+
+// Lane returns an accounting lane of nw: a view that shares nw's
+// configuration and link up/down state but accumulates byte counts and
+// byte×hop totals privately, recording transfers against its own recorder.
+// A sharded simulation gives each shard a lane so concurrent shards never
+// write shared accounting state; MergeFrom folds lanes back after the run.
+// Lanes do not support link contention (the busy-until feedback would
+// couple shards through shared mutable state), so nw must have been built
+// with Contention off.
+func (nw *Network) Lane(recorder Recorder) *Network {
+	if nw.busyUntil != nil {
+		panic("simnet: accounting lanes are incompatible with link contention")
+	}
+	return &Network{
+		cfg:       nw.cfg,
+		n:         nw.n,
+		recorder:  recorder,
+		linkBytes: make([]int64, nw.n*nw.n),
+		links:     nw.links,
+	}
+}
+
+// MergeFrom folds a lane's private accounting (per-link bytes and byte×hop
+// totals) into nw. The lane's recorder-side series are merged separately by
+// the caller (see metrics.Collector.MergeFrom).
+func (nw *Network) MergeFrom(lane *Network) {
+	for i, v := range lane.linkBytes {
+		if v != 0 {
+			nw.linkBytes[i] += v
+		}
+	}
+	nw.payloadByteHops += lane.payloadByteHops
+	nw.overheadByteHops += lane.overheadByteHops
 }
 
 // TxTime returns the per-link transmission time of a transfer of bytes.
@@ -197,14 +239,14 @@ func (nw *Network) ControlMessageTo(now time.Duration, path []topology.NodeID, b
 	if hops <= 0 {
 		return now, true
 	}
-	if nw.linkDown == nil || nw.downLinks == 0 {
+	if nw.links.down == nil || nw.links.downLinks == 0 {
 		return nw.ControlMessage(now, path, bytes), true
 	}
 	t := now
 	sent := 0
 	for i := 0; i < hops; i++ {
 		li := int(path[i])*nw.n + int(path[i+1])
-		if nw.linkDown[li] {
+		if nw.links.down[li] {
 			break
 		}
 		nw.linkBytes[li] += bytes
@@ -240,19 +282,20 @@ func (nw *Network) OverheadByteHops() int64 { return nw.overheadByteHops }
 // directions at once). It is idempotent: setting an already-down link down
 // again is a no-op.
 func (nw *Network) SetLinkDown(a, b topology.NodeID, down bool) {
-	if nw.linkDown == nil {
+	ls := nw.links
+	if ls.down == nil {
 		if !down {
 			return
 		}
-		nw.linkDown = make([]bool, nw.n*nw.n)
+		ls.down = make([]bool, nw.n*nw.n)
 	}
 	for _, li := range [2]int{int(a)*nw.n + int(b), int(b)*nw.n + int(a)} {
-		if nw.linkDown[li] != down {
-			nw.linkDown[li] = down
+		if ls.down[li] != down {
+			ls.down[li] = down
 			if down {
-				nw.downLinks++
+				ls.downLinks++
 			} else {
-				nw.downLinks--
+				ls.downLinks--
 			}
 		}
 	}
@@ -260,24 +303,25 @@ func (nw *Network) SetLinkDown(a, b topology.NodeID, down bool) {
 
 // LinkIsDown reports whether the directed link a->b is currently cut.
 func (nw *Network) LinkIsDown(a, b topology.NodeID) bool {
-	if nw.linkDown == nil {
+	if nw.links.down == nil {
 		return false
 	}
-	return nw.linkDown[int(a)*nw.n+int(b)]
+	return nw.links.down[int(a)*nw.n+int(b)]
 }
 
 // DownLinks returns the number of currently-cut directed links.
-func (nw *Network) DownLinks() int { return nw.downLinks }
+func (nw *Network) DownLinks() int { return nw.links.downLinks }
 
 // PathUp reports whether every hop of path is currently up. When no link
 // was ever cut this is a nil check; with no down links it is a counter
 // check, so fault-free traffic pays nothing.
 func (nw *Network) PathUp(path []topology.NodeID) bool {
-	if nw.linkDown == nil || nw.downLinks == 0 {
+	ls := nw.links
+	if ls.down == nil || ls.downLinks == 0 {
 		return true
 	}
 	for i := 0; i+1 < len(path); i++ {
-		if nw.linkDown[int(path[i])*nw.n+int(path[i+1])] {
+		if ls.down[int(path[i])*nw.n+int(path[i+1])] {
 			return false
 		}
 	}

@@ -59,6 +59,69 @@ func Star(n int) *Topology {
 	return mustNew(nodes, edges)
 }
 
+// TransitStub returns a transit-stub graph in the style of the GT-ITM
+// internet models: `regions` transit domains arranged in a ring, each
+// containing hubsPerRegion transit hubs in a ring, with stubsPerHub stub
+// (edge) nodes hanging off every hub in a star. Node count is
+// regions × hubsPerRegion × (1 + stubsPerHub).
+//
+// The graph gives benchmarks and shard tests a realistic larger-than-UUNET
+// backbone with natural shard boundaries: regions are sparsely connected
+// (one inter-region link per ring edge), so partitioning by region
+// maximizes the minimum cross-shard hop distance. Transit domains take
+// geographic regions round-robin from Regions(), matching the regional
+// workload's expectations. Hubs are named "rR.hH" and stubs "rR.hH.sS";
+// IDs are dense in (region, hub, stub) order, so region node ranges are
+// contiguous.
+//
+// regions and hubsPerRegion must be >= 1 and stubsPerHub >= 0; a
+// single-node request (regions=1, hubsPerRegion=1, stubsPerHub=0) is
+// rejected by the underlying validator only when disconnected, so the
+// minimum useful graph is two nodes.
+func TransitStub(regions, hubsPerRegion, stubsPerHub int) *Topology {
+	if regions < 1 || hubsPerRegion < 1 || stubsPerHub < 0 {
+		panic("topology: TransitStub needs regions >= 1, hubsPerRegion >= 1, stubsPerHub >= 0")
+	}
+	geo := Regions()
+	perRegion := hubsPerRegion * (1 + stubsPerHub)
+	nodes := make([]Node, 0, regions*perRegion)
+	var edges []Edge
+	hubName := func(r, h int) string {
+		return "r" + strconv.Itoa(r) + ".h" + strconv.Itoa(h)
+	}
+	for r := 0; r < regions; r++ {
+		region := geo[r%len(geo)]
+		for h := 0; h < hubsPerRegion; h++ {
+			nodes = append(nodes, Node{Name: hubName(r, h), Region: region})
+			for s := 0; s < stubsPerHub; s++ {
+				name := hubName(r, h) + ".s" + strconv.Itoa(s)
+				nodes = append(nodes, Node{Name: name, Region: region})
+				edges = append(edges, Edge{hubName(r, h), name})
+			}
+		}
+		// Intra-region transit ring (a single link for two hubs, none
+		// for one).
+		switch {
+		case hubsPerRegion == 2:
+			edges = append(edges, Edge{hubName(r, 0), hubName(r, 1)})
+		case hubsPerRegion > 2:
+			for h := 0; h < hubsPerRegion; h++ {
+				edges = append(edges, Edge{hubName(r, h), hubName(r, (h+1)%hubsPerRegion)})
+			}
+		}
+	}
+	// Inter-region transit ring over each region's hub 0.
+	switch {
+	case regions == 2:
+		edges = append(edges, Edge{hubName(0, 0), hubName(1, 0)})
+	case regions > 2:
+		for r := 0; r < regions; r++ {
+			edges = append(edges, Edge{hubName(r, 0), hubName((r+1)%regions, 0)})
+		}
+	}
+	return mustNew(nodes, edges)
+}
+
 // TwoClusters returns two fully-meshed clusters of size k bridged by a
 // single long link, modelling the paper's America/Europe running example.
 // Nodes 0..k-1 form cluster A (WesternNA), nodes k..2k-1 form cluster B

@@ -1,0 +1,50 @@
+package topology
+
+import "testing"
+
+func TestTransitStubShape(t *testing.T) {
+	topo := TransitStub(4, 4, 15)
+	if got, want := topo.NumNodes(), 4*4*16; got != want {
+		t.Fatalf("node count %d, want %d", got, want)
+	}
+	// Regions are assigned round-robin over transit domains and node IDs
+	// are dense per domain, so each region's node range is contiguous.
+	for _, r := range Regions() {
+		ids := topo.NodesInRegion(r)
+		if len(ids) != 64 {
+			t.Fatalf("region %v has %d nodes, want 64", r, len(ids))
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i] != ids[i-1]+1 {
+				t.Fatalf("region %v node IDs not contiguous: %v", r, ids)
+			}
+		}
+	}
+	// New() rejects disconnected graphs, so construction succeeding is a
+	// connectivity proof; spot-check naming.
+	if topo.Node(0).Name != "r0.h0" {
+		t.Errorf("node 0 named %q", topo.Node(0).Name)
+	}
+}
+
+func TestTransitStubSmallCounts(t *testing.T) {
+	cases := []struct {
+		r, h, s, nodes int
+	}{
+		{2, 1, 1, 4},
+		{2, 2, 0, 4},
+		{3, 2, 2, 18},
+	}
+	for _, c := range cases {
+		topo := TransitStub(c.r, c.h, c.s)
+		if topo.NumNodes() != c.nodes {
+			t.Errorf("TransitStub(%d,%d,%d): %d nodes, want %d", c.r, c.h, c.s, topo.NumNodes(), c.nodes)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TransitStub(0,1,1) did not panic")
+		}
+	}()
+	TransitStub(0, 1, 1)
+}

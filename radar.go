@@ -339,6 +339,17 @@ type Config struct {
 	// LinkContention serializes transfers on each directed link instead
 	// of the paper's fixed per-hop transmission cost.
 	LinkContention bool
+	// Shards partitions the request-serving plane into this many shards
+	// executed concurrently between deterministic barriers, with results
+	// bit-identical to the serial engine at every shard count. 0 or 1
+	// (the default) selects the serial engine; -1 selects one shard per
+	// backbone region. Sharding is incompatible with LinkContention and
+	// ConsistencyMixed, whose cross-host feedback cannot be partitioned.
+	Shards int
+	// ShardQuantum caps the sharded engine's barrier interval in virtual
+	// time; zero lets windows run to the next global protocol event.
+	// Results are bit-identical at any quantum. Ignored by serial runs.
+	ShardQuantum time.Duration
 	// SwitchTo, when non-empty, swaps the demand to this workload at
 	// SwitchAt — for responsiveness studies of demand-pattern changes.
 	SwitchTo Workload
@@ -402,6 +413,32 @@ func (c Config) Validate() error {
 	}
 	if c.SwitchAt < 0 {
 		return fmt.Errorf("radar: negative switch time %v", c.SwitchAt)
+	}
+	if c.Shards < -1 {
+		return &ConfigError{
+			Field: "Shards", Value: c.Shards,
+			Reason: "must be -1 (one shard per region), 0/1 (serial) or >= 2",
+		}
+	}
+	if c.ShardQuantum < 0 {
+		return &ConfigError{
+			Field: "ShardQuantum", Value: c.ShardQuantum,
+			Reason: "negative",
+		}
+	}
+	if c.Shards == -1 || c.Shards >= 2 {
+		if c.LinkContention {
+			return &ConfigError{
+				Field: "Shards", Value: c.Shards,
+				Reason: "sharded engine is incompatible with LinkContention",
+			}
+		}
+		if c.Consistency == ConsistencyMixed {
+			return &ConfigError{
+				Field: "Shards", Value: c.Shards,
+				Reason: "sharded engine is incompatible with ConsistencyMixed",
+			}
+		}
 	}
 	if err := c.Placement.Validate(); err != nil {
 		return err
@@ -699,6 +736,8 @@ func buildSimConfig(cfg Config) (*sim.Config, error) {
 	}
 	simCfg.PoissonArrivals = cfg.PoissonArrivals
 	simCfg.Net.Contention = cfg.LinkContention
+	simCfg.Shards = cfg.Shards
+	simCfg.ShardQuantum = cfg.ShardQuantum
 	if cfg.SwitchTo != "" {
 		to, err := buildWorkload(cfg.SwitchTo, u, topo, cfg.Seed+1)
 		if err != nil {
