@@ -1,0 +1,139 @@
+// Command radar-load replays a scenario's workload against a live fleet
+// over real HTTP: the load generator paces the simulator's exact event
+// schedule, asks each object's redirector for a 302, follows it to the
+// chosen replica host, and reports completions back — collecting the same
+// metrics schema as a simulation run.
+//
+// By default it stands up an in-process loopback fleet (one HTTP listener
+// per topology node) and drives it; with -urls it drives an externally
+// started fleet of radar-node processes instead, which must have been
+// launched with the same scenario and overrides.
+//
+// Examples:
+//
+//	radar-load -list
+//	radar-load -scenario steady-state-baseline -duration 2m -rps 10
+//	radar-load -scenario steady-state-baseline -duration 2m -rps 10 -gate-zero-failed
+//	radar-load -scenario steady-state-baseline -urls http://127.0.0.1:8300,http://127.0.0.1:8301,...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"radar/internal/live"
+	"radar/internal/live/livetest"
+	"radar/internal/report"
+	"radar/internal/scenario"
+	"radar/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radar-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name       = flag.String("scenario", "steady-state-baseline", "scenario to replay (see -list)")
+		list       = flag.Bool("list", false, "list the scenario corpus and exit")
+		duration   = flag.Duration("duration", 0, "override the scenario's virtual duration (0 = keep)")
+		rps        = flag.Float64("rps", 0, "override the per-gateway request rate (0 = keep)")
+		seed       = flag.Int64("seed", 0, "override the scenario seed (0 = keep)")
+		urls       = flag.String("urls", "", "comma-separated radar-node base URLs (empty = in-process loopback fleet)")
+		inflight   = flag.Int("max-inflight-creates", 0, "per-node CreateObj concurrency limit (0 = default)")
+		gateFailed = flag.Bool("gate-zero-failed", false, "exit non-zero if any request failed or any node crashed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range scenario.Names() {
+			sc, _ := scenario.ByName(n)
+			fmt.Printf("%-40s %s\n", n, sc.Description)
+		}
+		return nil
+	}
+
+	cfg, err := buildConfig(*name, *duration, *rps, *seed, *inflight)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	var res *sim.Results
+	if *urls != "" {
+		fleet := strings.Split(*urls, ",")
+		d, err := live.NewDriver(cfg, fleet)
+		if err != nil {
+			return err
+		}
+		res, err = d.Run(ctx)
+		if err != nil {
+			return err
+		}
+	} else {
+		h, err := livetest.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		res, err = h.Run(ctx)
+		if err != nil {
+			return err
+		}
+	}
+	wall := time.Since(start).Round(time.Millisecond)
+
+	if err := report.Summary(res).Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nlive replay: %d served, %d failed, %d dropped choices, %d timed out, %d crashes (wall time %v)\n",
+		res.TotalServed, res.FailedRequests, res.DroppedChoices, res.TimedOutRequests, res.Failures, wall)
+
+	if *gateFailed {
+		if res.FailedRequests > 0 || res.DroppedChoices > 0 || res.Failures > 0 {
+			return fmt.Errorf("gate: %d failed requests, %d dropped choices, %d crashes (want all zero)",
+				res.FailedRequests, res.DroppedChoices, res.Failures)
+		}
+		fmt.Println("gate: zero failed requests")
+	}
+	return nil
+}
+
+// buildConfig resolves a scenario into a live fleet configuration with the
+// command-line overrides applied. radar-node uses the identical resolution,
+// so a driver and an externally launched fleet agree on every parameter.
+func buildConfig(name string, duration time.Duration, rps float64, seed int64, inflight int) (live.Config, error) {
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		return live.Config{}, fmt.Errorf("unknown scenario %q (see -list)", name)
+	}
+	simCfg, err := sc.Config()
+	if err != nil {
+		return live.Config{}, err
+	}
+	if duration > 0 {
+		simCfg.Duration = duration
+	}
+	if rps > 0 {
+		simCfg.NodeRequestRPS = rps
+	}
+	if seed != 0 {
+		simCfg.Seed = seed
+	}
+	cfg := live.Config{Sim: simCfg, MaxInflightCreates: inflight}
+	if err := cfg.Validate(); err != nil {
+		return live.Config{}, err
+	}
+	return cfg, nil
+}

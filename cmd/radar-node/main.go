@@ -1,0 +1,111 @@
+// Command radar-node runs one live fleet member as a standalone process:
+// a protocol host and FCFS server (and, on redirector locations, the
+// redirector answering object requests with 302s) behind the HTTP/JSON
+// control plane. Nodes are clock-less — they advance only when a driver
+// (radar-load) tells them what virtual time it is — so a fleet of these
+// processes replays the simulator's schedule exactly.
+//
+// Every member of a fleet must be started with the same scenario and
+// overrides, and the -peers list must name every node's base URL in node
+// ID order (the entry for this node itself may be a placeholder).
+//
+// Example (3 terminals, after picking ports):
+//
+//	radar-node -scenario steady-state-baseline -id 0 -listen 127.0.0.1:8300 -peers http://127.0.0.1:8300,http://127.0.0.1:8301,http://127.0.0.1:8302
+//	radar-node -scenario steady-state-baseline -id 1 -listen 127.0.0.1:8301 -peers ...
+//	radar-node -scenario steady-state-baseline -id 2 -listen 127.0.0.1:8302 -peers ...
+//	radar-load -scenario steady-state-baseline -urls http://127.0.0.1:8300,http://127.0.0.1:8301,http://127.0.0.1:8302
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"radar/internal/live"
+	"radar/internal/scenario"
+	"radar/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radar-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name     = flag.String("scenario", "steady-state-baseline", "scenario the fleet replays")
+		id       = flag.Int("id", -1, "this node's ID (0..n-1 in the scenario's topology)")
+		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
+		peers    = flag.String("peers", "", "comma-separated base URLs of every fleet member, in node ID order")
+		duration = flag.Duration("duration", 0, "override the scenario's virtual duration (0 = keep)")
+		rps      = flag.Float64("rps", 0, "override the per-gateway request rate (0 = keep)")
+		seed     = flag.Int64("seed", 0, "override the scenario seed (0 = keep)")
+		inflight = flag.Int("max-inflight-creates", 0, "CreateObj concurrency limit (0 = default)")
+	)
+	flag.Parse()
+
+	if *id < 0 {
+		return fmt.Errorf("missing -id")
+	}
+	if *peers == "" {
+		return fmt.Errorf("missing -peers")
+	}
+
+	sc, ok := scenario.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", *name)
+	}
+	simCfg, err := sc.Config()
+	if err != nil {
+		return err
+	}
+	if *duration > 0 {
+		simCfg.Duration = *duration
+	}
+	if *rps > 0 {
+		simCfg.NodeRequestRPS = *rps
+	}
+	if *seed != 0 {
+		simCfg.Seed = *seed
+	}
+	cfg := live.Config{Sim: simCfg, MaxInflightCreates: *inflight}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	urls := strings.Split(*peers, ",")
+	node, err := live.NewNode(cfg, topology.NodeID(*id), urls, nil)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("radar-node: node %d of scenario %s serving on http://%s\n", *id, *name, ln.Addr())
+
+	srv := &http.Server{Handler: node.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		return err
+	}
+}

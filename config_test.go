@@ -20,6 +20,7 @@ func TestGroupedConfigPromotion(t *testing.T) {
 	grouped.Ctrl.CtrlRetries = 4
 	grouped.Ctrl.CtrlTimeout = 2 * time.Second
 	grouped.Storage.Store = "cache(mem:64,disk:5ms)"
+	grouped.Live.LiveMaxInflightCreates = 8
 
 	flat := radar.DefaultConfig(radar.Zipf)
 	flat.Policy = radar.PolicyClosest
@@ -29,6 +30,7 @@ func TestGroupedConfigPromotion(t *testing.T) {
 	flat.CtrlRetries = 4
 	flat.CtrlTimeout = 2 * time.Second
 	flat.Store = "cache(mem:64,disk:5ms)"
+	flat.LiveMaxInflightCreates = 8
 
 	if grouped != flat {
 		t.Errorf("grouped and flat assignment diverge:\n grouped: %+v\n flat: %+v", grouped, flat)

@@ -94,6 +94,42 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// Backoff is the plane's retry wait schedule — capped exponential growth
+// with jitter drawn uniformly from [b/2, b] — extracted as a standalone
+// value so other control-plane transports (the live HTTP client) back off
+// exactly as the simulated plane does. The zero value waits zero forever;
+// obtain one from Params.NewBackoff.
+type Backoff struct {
+	next time.Duration
+	cap  time.Duration
+}
+
+// NewBackoff returns the retry schedule for p, starting at BackoffBase and
+// doubling up to BackoffCap. p should be resolved with WithDefaults first.
+func (p Params) NewBackoff() Backoff {
+	return Backoff{next: p.BackoffBase, cap: p.BackoffCap}
+}
+
+// Wait returns the jittered wait before the next retry and advances the
+// schedule. rng supplies the jitter draw; the plane passes its reserved
+// control stream, live transports pass any seeded source.
+func (b *Backoff) Wait(rng *rand.Rand) time.Duration {
+	w := jitteredWait(b.next, rng)
+	if b.next *= 2; b.next > b.cap {
+		b.next = b.cap
+	}
+	return w
+}
+
+// jitteredWait returns a jittered backoff in [b/2, b].
+func jitteredWait(b time.Duration, rng *rand.Rand) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	half := b / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
 // Faults are the message-fault terms from the schedule DSL.
 type Faults struct {
 	// Drop is the per-leg loss probability.
@@ -200,7 +236,7 @@ func (p *Plane) Call(now time.Duration, from, to topology.NodeID, token uint64, 
 		token = p.NextToken()
 	}
 	t := now
-	backoff := p.params.BackoffBase
+	backoff := p.params.NewBackoff()
 	for attempt := 0; attempt <= p.params.Retries; attempt++ {
 		p.stats.Attempts++
 		if attempt > 0 {
@@ -217,10 +253,7 @@ func (p *Plane) Call(now time.Duration, from, to topology.NodeID, token uint64, 
 			}
 		}
 		p.stats.Timeouts++
-		t = deadline + p.jitteredWait(backoff)
-		if backoff *= 2; backoff > p.params.BackoffCap {
-			backoff = p.params.BackoffCap
-		}
+		t = deadline + backoff.Wait(p.rng)
 	}
 	p.stats.Lost++
 	return false, token, t, false
@@ -276,13 +309,4 @@ func (p *Plane) leg(now time.Duration, from, to topology.NodeID) (arrival time.D
 		p.transport(now, from, to) // charge the duplicate; dedupe absorbs it
 	}
 	return arrival, true
-}
-
-// jitteredWait returns a deterministic jittered backoff in [b/2, b].
-func (p *Plane) jitteredWait(b time.Duration) time.Duration {
-	if b <= 0 {
-		return 0
-	}
-	half := b / 2
-	return half + time.Duration(p.rng.Int63n(int64(half)+1))
 }

@@ -1,0 +1,133 @@
+package live
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"radar/internal/ctrlplane"
+)
+
+// ErrRPCLost reports a control RPC abandoned after the full retry budget —
+// the live counterpart of ctrlplane's Lost outcome: the caller cannot
+// distinguish "never executed" from "executed, reply lost"; message-ID
+// idempotence makes a same-ID re-issue safe.
+var ErrRPCLost = errors.New("live: rpc lost after retry budget")
+
+// rpcClient carries control RPCs over HTTP with the simulated control
+// plane's retry discipline, reusing ctrlplane.Params verbatim: a
+// per-attempt timeout, a bounded retry budget, and the plane's capped
+// exponential backoff with jitter (ctrlplane.Backoff). Transport errors
+// and 503s (a node refusing while busy) are retried; any other non-2xx
+// status is a terminal protocol answer.
+type rpcClient struct {
+	params ctrlplane.Params
+	http   *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	attempts int64
+	retries  int64
+	lost     int64
+}
+
+// newRPCClient builds a client from resolved params and a seeded jitter
+// source.
+func newRPCClient(params ctrlplane.Params, rng *rand.Rand) *rpcClient {
+	return &rpcClient{
+		params: params.WithDefaults(),
+		http:   &http.Client{},
+		rng:    rng,
+	}
+}
+
+// backoffWait sleeps the schedule's next jittered wait.
+func (c *rpcClient) backoffWait(b *ctrlplane.Backoff) {
+	c.rngMu.Lock()
+	w := b.Wait(c.rng)
+	c.rngMu.Unlock()
+	time.Sleep(w)
+}
+
+// call POSTs req as JSON to base+path and decodes the JSON reply into
+// resp, retrying per the ctrlplane schedule. A nil resp discards the body.
+func (c *rpcClient) call(base, path string, req, resp any) error {
+	body := Encode(req)
+	return c.roundTrip(func(ctx context.Context) (*http.Request, error) {
+		r, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		r.Header.Set("Content-Type", "application/json")
+		return r, nil
+	}, resp)
+}
+
+// get issues a retried GET with query parameters, decoding the JSON reply
+// into resp.
+func (c *rpcClient) get(base, path string, query url.Values, resp any) error {
+	u := base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	return c.roundTrip(func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	}, resp)
+}
+
+func (c *rpcClient) roundTrip(build func(context.Context) (*http.Request, error), resp any) error {
+	backoff := c.params.NewBackoff()
+	for attempt := 0; attempt <= c.params.Retries; attempt++ {
+		atomic.AddInt64(&c.attempts, 1)
+		if attempt > 0 {
+			atomic.AddInt64(&c.retries, 1)
+			c.backoffWait(&backoff)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.params.Timeout)
+		req, err := build(ctx)
+		if err != nil {
+			cancel()
+			return err
+		}
+		res, err := c.http.Do(req)
+		if err != nil {
+			cancel()
+			continue // transport failure: retry
+		}
+		data, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		cancel()
+		if err != nil || res.StatusCode == http.StatusServiceUnavailable {
+			continue // truncated reply or busy node: retry
+		}
+		if res.StatusCode != http.StatusOK {
+			return fmt.Errorf("live: %s %s: status %d: %s", req.Method, req.URL.Path, res.StatusCode, data)
+		}
+		if resp == nil {
+			return nil
+		}
+		if v, ok := resp.(validator); ok {
+			return Decode(data, v)
+		}
+		if err := jsonUnmarshal(data, resp); err != nil {
+			return err
+		}
+		return nil
+	}
+	atomic.AddInt64(&c.lost, 1)
+	return ErrRPCLost
+}
+
+// Stats returns (attempts, retries, lost) counters.
+func (c *rpcClient) Stats() (attempts, retries, lost int64) {
+	return atomic.LoadInt64(&c.attempts), atomic.LoadInt64(&c.retries), atomic.LoadInt64(&c.lost)
+}

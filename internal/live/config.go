@@ -1,0 +1,125 @@
+package live
+
+import (
+	"fmt"
+
+	"radar/internal/ctrlplane"
+	"radar/internal/protocol"
+	"radar/internal/routing"
+	"radar/internal/sim"
+	"radar/internal/substrate"
+	"radar/internal/topology"
+)
+
+// Config describes one live fleet. The simulation configuration is
+// embedded whole — the same sim.Config drives both the simulator and the
+// fleet, which is what lets the equivalence test hand one value to both
+// sides — plus the live-only transport knobs.
+type Config struct {
+	// Sim is the run the fleet mirrors: topology, object universe,
+	// protocol parameters, server model, request rates, intervals, policy,
+	// redirector count, duration. A nil Sim.Topo selects the UUNET
+	// backbone, like the simulator.
+	Sim sim.Config
+
+	// MaxInflightCreates caps concurrent CreateObj executions per node
+	// (the buildbarn-style replication concurrency limit). Zero selects
+	// DefaultMaxInflightCreates.
+	MaxInflightCreates int
+
+	// RPC tunes the control-plane client: per-attempt timeout, retry
+	// budget, and backoff, reusing ctrlplane.Params (zero fields select
+	// the ctrlplane defaults).
+	RPC ctrlplane.Params
+}
+
+// DefaultMaxInflightCreates is the per-node CreateObj concurrency limit
+// when Config.MaxInflightCreates is zero.
+const DefaultMaxInflightCreates = 4
+
+// normalize resolves defaults: the UUNET topology for a nil Topo, the
+// ctrlplane RPC defaults, and the CreateObj concurrency default.
+func (c Config) normalize() Config {
+	if c.Sim.Topo == nil {
+		c.Sim.Topo = substrate.UUNET().Topo
+	}
+	if c.MaxInflightCreates == 0 {
+		c.MaxInflightCreates = DefaultMaxInflightCreates
+	}
+	c.RPC = c.RPC.WithDefaults()
+	return c
+}
+
+// Validate rejects configurations the live fleet cannot run. Live mode
+// deliberately supports the simulator's core surface — the paper's
+// protocol over a real transport — and refuses the simulation-only
+// subsystems (fault injection, storage stacks, consistency/updates,
+// heterogeneous weights, alternate seeding modes): those model phenomena
+// the simulator induces artificially, while a live fleet exhibits its own.
+func (c Config) Validate() error {
+	c = c.normalize()
+	if err := c.Sim.Validate(); err != nil {
+		return err
+	}
+	if c.MaxInflightCreates < 0 {
+		return fmt.Errorf("live: negative MaxInflightCreates %d", c.MaxInflightCreates)
+	}
+	if err := c.RPC.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Sim.Faults.Enabled() || c.Sim.Faults.HasMessageFaults() || len(c.Sim.Failures) > 0:
+		return fmt.Errorf("live: fault injection is simulation-only (kill live nodes instead)")
+	case !c.Sim.Store.IsDefault():
+		return fmt.Errorf("live: replica-storage stacks are simulation-only")
+	case c.Sim.Consistency != nil || c.Sim.Updates.RatePerSec > 0:
+		return fmt.Errorf("live: consistency/update subsystem is simulation-only")
+	case c.Sim.HostWeights != nil:
+		return fmt.Errorf("live: host weights are simulation-only")
+	case c.Sim.RedirectorAtHome || c.Sim.ReplicateEverywhere || c.Sim.InitialPlacement != nil:
+		return fmt.Errorf("live: alternate seeding modes are simulation-only")
+	case c.Sim.Net.Contention:
+		return fmt.Errorf("live: link contention is simulation-only")
+	}
+	return nil
+}
+
+// RedirectorLocations reproduces the simulator's redirector placement
+// (sim.buildRedirectors): the k nodes with the smallest average hop
+// distance, selected by (avg, id). Every fleet member and the driver
+// compute the same list from the shared routing table, so the object ->
+// redirector partition needs no coordination.
+func RedirectorLocations(routes *routing.Table, k int) []topology.NodeID {
+	n := routes.NumNodes()
+	if k > n {
+		k = n
+	}
+	type cand struct {
+		id  topology.NodeID
+		avg float64
+	}
+	cands := make([]cand, n)
+	for i := 0; i < n; i++ {
+		cands[i] = cand{topology.NodeID(i), routes.AvgDistance(topology.NodeID(i))}
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if cands[j].avg < cands[best].avg ||
+				(cands[j].avg == cands[best].avg && cands[j].id < cands[best].id) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	out := make([]topology.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+// eventKind maps an observer callback to its wire event kind.
+func moveEvent(kind string, at int64, id int64, from, to int, mv protocol.MoveKind) Event {
+	return Event{At: at, Kind: kind, Object: id, From: from, To: to, Move: mv.String()}
+}

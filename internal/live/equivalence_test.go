@@ -1,0 +1,120 @@
+package live_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"radar/internal/live"
+	"radar/internal/live/livetest"
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/sim"
+	"radar/internal/topology"
+)
+
+// decisionRecorder mirrors the live nodes' event log on the simulator
+// side: every placement decision the protocol announces is recorded in
+// the wire Event shape, so the two sequences compare field for field.
+type decisionRecorder struct {
+	events []live.Event
+}
+
+func (r *decisionRecorder) OnMigrate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
+	r.events = append(r.events, live.Event{At: int64(now), Kind: live.EventMigrate, Object: int64(id), From: int(from), To: int(to), Move: kind.String()})
+}
+
+func (r *decisionRecorder) OnReplicate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
+	r.events = append(r.events, live.Event{At: int64(now), Kind: live.EventReplicate, Object: int64(id), From: int(from), To: int(to), Move: kind.String()})
+}
+
+func (r *decisionRecorder) OnDrop(now time.Duration, id object.ID, host topology.NodeID) {
+	r.events = append(r.events, live.Event{At: int64(now), Kind: live.EventDrop, Object: int64(id), From: int(host)})
+}
+
+func (r *decisionRecorder) OnRefuse(now time.Duration, id object.ID, from, to topology.NodeID, method protocol.Method) {
+	r.events = append(r.events, live.Event{At: int64(now), Kind: live.EventRefuse, Object: int64(id), From: int(from), To: int(to), Method: method.String()})
+}
+
+func (r *decisionRecorder) OnDefer(now time.Duration, id object.ID, from, to topology.NodeID, method protocol.Method) {
+	r.events = append(r.events, live.Event{At: int64(now), Kind: live.EventDefer, Object: int64(id), From: int(from), To: int(to), Method: method.String()})
+}
+
+// TestSimLiveEquivalence is the headline test pinning live mode to the
+// simulator: one configuration drives both the deterministic simulation
+// and a 3-node loopback fleet of real HTTP servers, and the sequence of
+// placement decisions — every migration, replication, drop, and refusal,
+// in order, with virtual timestamps — must be identical, along with the
+// request-path aggregates. The simulator is the executable spec; any
+// divergence on the live side is a bug in the transport lift.
+func TestSimLiveEquivalence(t *testing.T) {
+	cfg := liveConfig(t, topology.Line(3), 24, 20, 3*time.Minute)
+
+	simCfg := cfg.Sim
+	rec := &decisionRecorder{}
+	simCfg.ExtraObserver = rec
+	s, err := sim.New(simCfg)
+	if err != nil {
+		t.Fatalf("building simulation: %v", err)
+	}
+	simRes, err := s.Run()
+	if err != nil {
+		t.Fatalf("running simulation: %v", err)
+	}
+
+	h := livetest.Start(t, cfg)
+	liveRes, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatalf("running live fleet: %v", err)
+	}
+
+	liveDecisions := h.Driver.Decisions()
+	if len(rec.events) == 0 {
+		t.Fatal("simulation made no placement decisions; the workload is too small to pin anything")
+	}
+	if len(liveDecisions) != len(rec.events) {
+		t.Fatalf("decision count: live %d, sim %d", len(liveDecisions), len(rec.events))
+	}
+	for i := range rec.events {
+		if liveDecisions[i] != rec.events[i] {
+			t.Fatalf("decision %d diverges:\n  live: %+v\n  sim:  %+v", i, liveDecisions[i], rec.events[i])
+		}
+	}
+
+	// The request path must agree exactly too: same served/timed-out/
+	// dropped totals, same placement counters, same final census.
+	if liveRes.TotalServed != simRes.TotalServed {
+		t.Errorf("TotalServed: live %d, sim %d", liveRes.TotalServed, simRes.TotalServed)
+	}
+	if liveRes.TimedOutRequests != simRes.TimedOutRequests {
+		t.Errorf("TimedOutRequests: live %d, sim %d", liveRes.TimedOutRequests, simRes.TimedOutRequests)
+	}
+	if liveRes.DroppedChoices != simRes.DroppedChoices {
+		t.Errorf("DroppedChoices: live %d, sim %d", liveRes.DroppedChoices, simRes.DroppedChoices)
+	}
+	if liveRes.Counters != simRes.Counters {
+		t.Errorf("Counters: live %+v, sim %+v", liveRes.Counters, simRes.Counters)
+	}
+	if liveRes.AvgReplicas != simRes.AvgReplicas {
+		t.Errorf("AvgReplicas: live %v, sim %v", liveRes.AvgReplicas, simRes.AvgReplicas)
+	}
+	if len(liveRes.Replicas) != len(simRes.Replicas) {
+		t.Fatalf("census series length: live %d, sim %d", len(liveRes.Replicas), len(simRes.Replicas))
+	}
+	for i := range simRes.Replicas {
+		if liveRes.Replicas[i] != simRes.Replicas[i] {
+			t.Errorf("census sample %d: live %+v, sim %+v", i, liveRes.Replicas[i], simRes.Replicas[i])
+		}
+	}
+	if len(liveRes.MaxLoad) != len(simRes.MaxLoad) {
+		t.Fatalf("max-load series length: live %d, sim %d", len(liveRes.MaxLoad), len(simRes.MaxLoad))
+	}
+	for i := range simRes.MaxLoad {
+		if liveRes.MaxLoad[i] != simRes.MaxLoad[i] {
+			t.Errorf("max-load sample %d: live %+v, sim %+v", i, liveRes.MaxLoad[i], simRes.MaxLoad[i])
+		}
+	}
+	if liveRes.FailedRequests != 0 || liveRes.Failures != 0 {
+		t.Errorf("healthy fleet reported %d failed requests, %d crashes", liveRes.FailedRequests, liveRes.Failures)
+	}
+}

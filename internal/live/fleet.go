@@ -1,0 +1,159 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"radar/internal/routing"
+	"radar/internal/topology"
+)
+
+// Fleet runs every node of one configuration in-process, each behind its
+// own loopback HTTP listener on an ephemeral port — the harness the
+// integration tests, the equivalence test, and radar-load's default mode
+// drive. Kill closes a node's listener and in-flight connections, making
+// the node indistinguishable from a crashed process to the rest of the
+// fleet (connections refused), without tearing down its in-memory state.
+type Fleet struct {
+	cfg    Config
+	routes *routing.Table
+	nodes  []*Node
+	urls   []string
+
+	mu        sync.Mutex
+	servers   []*http.Server
+	listeners []net.Listener
+	killed    []bool
+}
+
+// NewFleet builds and starts one node per topology member on
+// 127.0.0.1:0 listeners.
+func NewFleet(cfg Config) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize()
+	routes := routing.New(cfg.Sim.Topo)
+	n := routes.NumNodes()
+	f := &Fleet{
+		cfg:       cfg,
+		routes:    routes,
+		nodes:     make([]*Node, n),
+		urls:      make([]string, n),
+		servers:   make([]*http.Server, n),
+		listeners: make([]net.Listener, n),
+		killed:    make([]bool, n),
+	}
+	// Listeners first: every node needs the full URL manifest.
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("live: listening for node %d: %w", i, err)
+		}
+		f.listeners[i] = ln
+		f.urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		nd, err := NewNode(cfg, topology.NodeID(i), f.urls, routes)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.nodes[i] = nd
+		srv := &http.Server{Handler: nd.Handler()}
+		f.servers[i] = srv
+		go func(srv *http.Server, ln net.Listener) {
+			_ = srv.Serve(ln)
+		}(srv, f.listeners[i])
+	}
+	return f, nil
+}
+
+// NumNodes returns the fleet size.
+func (f *Fleet) NumNodes() int { return len(f.nodes) }
+
+// URLs returns the node base URLs, indexed by node ID.
+func (f *Fleet) URLs() []string { return append([]string(nil), f.urls...) }
+
+// URL returns one node's base URL.
+func (f *Fleet) URL(i topology.NodeID) string { return f.urls[i] }
+
+// Node returns a fleet member for in-process inspection.
+func (f *Fleet) Node(i topology.NodeID) *Node { return f.nodes[i] }
+
+// Routes returns the shared routing table.
+func (f *Fleet) Routes() *routing.Table { return f.routes }
+
+// Config returns the normalized fleet configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Kill crashes a node: its listener closes and open connections are torn
+// down, so every subsequent request to it fails at the transport. The
+// node's memory (host, server, redirector) is retained — tests can still
+// inspect it — but, like a crashed process, it no longer participates.
+func (f *Fleet) Kill(i topology.NodeID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed[i] {
+		return nil
+	}
+	f.killed[i] = true
+	srv := f.servers[i]
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Killed reports whether a node has been killed.
+func (f *Fleet) Killed(i topology.NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.killed[i]
+}
+
+// Close tears the whole fleet down.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, srv := range f.servers {
+		if srv != nil && !f.killed[i] {
+			_ = srv.Close()
+			f.killed[i] = true
+		}
+	}
+	for _, ln := range f.listeners {
+		if ln != nil {
+			_ = ln.Close() // idempotent; srv.Close already closed started ones
+		}
+	}
+}
+
+// WaitHealthy polls every live node's health endpoint until it answers or
+// the deadline passes.
+func (f *Fleet) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i, u := range f.urls {
+		if f.Killed(topology.NodeID(i)) {
+			continue
+		}
+		for {
+			res, err := http.Get(u + PathHealth)
+			if err == nil {
+				res.Body.Close()
+				if res.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("live: node %d not healthy after %v", i, timeout)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package live_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"radar/internal/live"
+	"radar/internal/live/livetest"
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/sim"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+// liveConfig builds a small fleet configuration over the given synthetic
+// topology, mirroring the simulator tests' scale-down pattern.
+func liveConfig(t *testing.T, topo *topology.Topology, objects int, rps float64, dur time.Duration) live.Config {
+	t.Helper()
+	u := object.Universe{Count: objects, SizeBytes: 4 << 10}
+	gen, err := workload.NewHotPages(u, 0.1, 0.9, 3)
+	if err != nil {
+		t.Fatalf("building workload: %v", err)
+	}
+	cfg := sim.DefaultConfig(gen, 7)
+	cfg.Topo = topo
+	cfg.Universe = u
+	cfg.NodeRequestRPS = rps
+	cfg.Duration = dur
+	cfg.PlacementInterval = 30 * time.Second
+	cfg.MetricsBucket = 30 * time.Second
+	return live.Config{Sim: cfg}
+}
+
+// postCreate POSTs one CreateObj message and returns the response body.
+func postCreate(t *testing.T, url string, msg *live.CreateObjMsg) []byte {
+	t.Helper()
+	res, err := http.Post(url+live.PathCreateObj, "application/json", bytes.NewReader(live.Encode(msg)))
+	if err != nil {
+		t.Fatalf("POST createobj: %v", err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("reading createobj reply: %v", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("createobj status %d: %s", res.StatusCode, body)
+	}
+	return body
+}
+
+func nodeStats(t *testing.T, url string) live.StatsReply {
+	t.Helper()
+	res, err := http.Get(url + live.PathStats)
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("reading stats: %v", err)
+	}
+	var rep live.StatsReply
+	if err := live.Decode(body, &rep); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return rep
+}
+
+// TestCreateObjIdempotent: retries and concurrent duplicates of one
+// CreateObj message execute the handshake once and replay the identical
+// verdict — the buildbarn-style request deduplication on the live wire.
+func TestCreateObjIdempotent(t *testing.T) {
+	h := livetest.Start(t, liveConfig(t, topology.Line(3), 9, 1, time.Minute))
+	target := h.Fleet.URL(1)
+	msg := &live.CreateObjMsg{
+		MsgID: 7001, From: 0, To: 1, Method: protocol.Replicate.String(),
+		Object: 0, UnitLoad: 0.5, SrcAff: 2, Now: 0,
+	}
+
+	first := postCreate(t, target, msg)
+	var rep live.CreateObjReply
+	if err := live.Decode(first, &rep); err != nil {
+		t.Fatalf("decoding verdict: %v", err)
+	}
+	if rep.MsgID != msg.MsgID {
+		t.Fatalf("verdict msg id %d, want %d", rep.MsgID, msg.MsgID)
+	}
+	if !rep.Accepted || !rep.Copied {
+		t.Fatalf("idle host refused the create: %+v", rep)
+	}
+
+	// Sequential retries and concurrent duplicates all replay the verdict.
+	var wg sync.WaitGroup
+	replies := make([][]byte, 6)
+	for i := range replies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i] = postCreate(t, target, msg)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range replies {
+		if !bytes.Equal(r, first) {
+			t.Fatalf("duplicate %d got %s, want %s", i, r, first)
+		}
+	}
+
+	stats := nodeStats(t, target)
+	if stats.CreateExecutions != 1 {
+		t.Fatalf("CreateExecutions = %d after 7 copies of one message, want 1", stats.CreateExecutions)
+	}
+}
+
+// TestCreateObjConcurrencyLimit: distinct CreateObj messages all execute,
+// but never more than the configured per-node limit at a time.
+func TestCreateObjConcurrencyLimit(t *testing.T) {
+	const limit, msgs = 2, 12
+	cfg := liveConfig(t, topology.Line(3), 24, 1, time.Minute)
+	cfg.MaxInflightCreates = limit
+	h := livetest.Start(t, cfg)
+	target := h.Fleet.URL(2)
+
+	var wg sync.WaitGroup
+	for i := 0; i < msgs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := &live.CreateObjMsg{
+				MsgID: uint64(9000 + i), From: 0, To: 2, Method: protocol.Replicate.String(),
+				Object: int64(i), UnitLoad: 0.01, SrcAff: 1, Now: 0,
+			}
+			body := postCreate(t, target, msg)
+			var rep live.CreateObjReply
+			if err := live.Decode(body, &rep); err != nil {
+				t.Errorf("decoding verdict %d: %v", i, err)
+				return
+			}
+			if rep.MsgID != msg.MsgID {
+				t.Errorf("verdict %d answered msg id %d", i, rep.MsgID)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	stats := nodeStats(t, target)
+	if stats.CreateExecutions != msgs {
+		t.Fatalf("CreateExecutions = %d, want %d", stats.CreateExecutions, msgs)
+	}
+	if stats.CreatePeakConcurrency > limit {
+		t.Fatalf("CreatePeakConcurrency = %d, limit %d", stats.CreatePeakConcurrency, limit)
+	}
+}
+
+// TestMalformedRPCAnswers400: a malformed control-plane body is rejected
+// with the typed wire error, not a hang or a panic.
+func TestMalformedRPCAnswers400(t *testing.T) {
+	h := livetest.Start(t, liveConfig(t, topology.Line(2), 4, 1, time.Minute))
+	for _, body := range []string{`{"msg_id":`, `{"msg_id":0}`, `{"msg_id":1,"method":"STEAL","src_aff":1}`} {
+		res, err := http.Post(h.Fleet.URL(0)+live.PathCreateObj, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		reason, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, res.StatusCode)
+		}
+		if len(reason) == 0 {
+			t.Fatalf("body %q: empty rejection reason", body)
+		}
+	}
+	if got := nodeStats(t, h.Fleet.URL(0)).CreateExecutions; got != 0 {
+		t.Fatalf("malformed bodies executed %d creates", got)
+	}
+}

@@ -1,0 +1,80 @@
+// Package livetest is the in-process integration harness for live mode:
+// it stands up a loopback Fleet, waits for every node's health endpoint,
+// and wires a Driver to it, so a test (or radar-load's default mode) can
+// replay a workload against real HTTP servers in a few lines. Kill
+// crashes a node mid-replay the way the failover tests need: the
+// listener closes AND the driver marks the node down, mirroring what an
+// external health check would conclude.
+package livetest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"radar/internal/live"
+	"radar/internal/sim"
+	"radar/internal/topology"
+)
+
+// HealthTimeout bounds how long New waits for the fleet to answer health
+// checks before giving up.
+const HealthTimeout = 10 * time.Second
+
+// Harness couples a loopback fleet with the driver that replays a
+// workload against it.
+type Harness struct {
+	Fleet  *live.Fleet
+	Driver *live.Driver
+}
+
+// New builds a fleet for cfg, waits for it to become healthy, and
+// attaches a driver. The caller owns Close.
+func New(cfg live.Config) (*Harness, error) {
+	f, err := live.NewFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.WaitHealthy(HealthTimeout); err != nil {
+		f.Close()
+		return nil, err
+	}
+	d, err := live.NewDriver(f.Config(), f.URLs())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Harness{Fleet: f, Driver: d}, nil
+}
+
+// Start is New for tests: failures become t.Fatal and the fleet is torn
+// down by t.Cleanup.
+func Start(t *testing.T, cfg live.Config) *Harness {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatalf("livetest: starting fleet: %v", err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+// Close tears the fleet down.
+func (h *Harness) Close() { h.Fleet.Close() }
+
+// Kill crashes node i mid-replay: the node's listener closes and the
+// driver marks it down, so subsequent redirects route around it.
+func (h *Harness) Kill(i topology.NodeID) error {
+	if err := h.Fleet.Kill(i); err != nil {
+		return fmt.Errorf("livetest: killing node %d: %w", i, err)
+	}
+	h.Driver.MarkDown(i)
+	return nil
+}
+
+// Run replays the configured workload against the fleet and returns the
+// run's results in the simulator's schema.
+func (h *Harness) Run(ctx context.Context) (*sim.Results, error) {
+	return h.Driver.Run(ctx)
+}

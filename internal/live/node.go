@@ -1,0 +1,832 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"radar/internal/object"
+	"radar/internal/protocol"
+	"radar/internal/routing"
+	"radar/internal/server"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+// Node is one live fleet member: a protocol.Host and its FCFS server
+// behind the HTTP control plane, plus — when this node is one of the
+// fleet's redirector locations — a protocol.Redirector answering object
+// requests with 302s. Nodes are clock-less: every mutating endpoint
+// carries an explicit virtual timestamp, so a driver pacing the fleet
+// through the simulator's event schedule reproduces the simulation's
+// decision sequence exactly (DESIGN.md §4.8).
+//
+// Locking: mu guards the host, server, and event log; redMu guards the
+// redirector and the peer-reachability view. The only permitted nesting is
+// mu -> redMu (a placement pass notifying its own co-located redirector).
+// Handlers that issue outgoing RPCs while holding mu rely on the driven
+// operating model: the driver serializes control operations fleet-wide, so
+// no two nodes run placement concurrently and cross-node lock cycles
+// cannot form.
+type Node struct {
+	id    topology.NodeID
+	cfg   Config
+	peers []string // base URL per node ID
+	n     int      // fleet size
+
+	routes  *routing.Table
+	client  *rpcClient
+	mux     *http.ServeMux
+	payload []byte
+
+	creates *callDedup // CreateObj admission gate + verdict cache
+	drops   *callDedup // RequestDrop verdict cache
+
+	nextMsg uint64 // atomic; message IDs are id<<40 | seq
+
+	mu     sync.Mutex
+	host   *protocol.Host
+	srv    *server.Server
+	events []Event
+
+	redMu      sync.Mutex
+	redirector *protocol.Redirector
+	redLocs    []topology.NodeID
+	downPeers  []bool
+	filtering  bool // reachability filter installed (first mark-down arms it)
+}
+
+// dropDedupLimit bounds concurrent RequestDrop executions; drops are cheap
+// map operations, the gate exists only to reuse the verdict-replay
+// machinery.
+const dropDedupLimit = 16
+
+// NewNode builds the fleet member running on node id. peers maps every
+// node ID to its base URL (http://host:port); the entry for id itself may
+// be empty. routes may be nil, in which case the node computes the routing
+// table from the configured topology (fleets sharing a process pass one
+// table to all members).
+func NewNode(cfg Config, id topology.NodeID, peers []string, routes *routing.Table) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize()
+	if routes == nil {
+		routes = routing.New(cfg.Sim.Topo)
+	}
+	n := routes.NumNodes()
+	if int(id) < 0 || int(id) >= n {
+		return nil, fmt.Errorf("live: node id %d outside topology of %d nodes", id, n)
+	}
+	if len(peers) != n {
+		return nil, fmt.Errorf("live: %d peer URLs for %d nodes", len(peers), n)
+	}
+	srv, err := server.New(id, cfg.Sim.Server)
+	if err != nil {
+		return nil, err
+	}
+	nd := &Node{
+		id:      id,
+		cfg:     cfg,
+		peers:   append([]string(nil), peers...),
+		n:       n,
+		routes:  routes,
+		client:  newRPCClient(cfg.RPC, workload.Stream(cfg.Sim.Seed, (1<<33)|uint64(id))),
+		payload: bytes.Repeat([]byte{0x5a}, cfg.Sim.Universe.SizeBytes),
+		creates: newCallDedup(cfg.MaxInflightCreates),
+		drops:   newCallDedup(dropDedupLimit),
+		srv:     srv,
+	}
+	nd.redLocs = RedirectorLocations(routes, cfg.Sim.NumRedirectors)
+	nd.downPeers = make([]bool, n)
+	for _, loc := range nd.redLocs {
+		if loc == id {
+			r, err := protocol.NewRedirector(id, routes, cfg.Sim.Policy, cfg.Sim.Protocol.DistConstant)
+			if err != nil {
+				return nil, err
+			}
+			if f := cfg.Sim.Protocol.ReplicaFloor; f > 1 {
+				r.SetReplicaFloor(f)
+			}
+			nd.redirector = r
+		}
+	}
+	env := protocol.Env{
+		Routes:        routes,
+		RedirectorFor: nd.redirectorFor,
+		Peer:          nd.peer,
+		FindRecipient: nd.findRecipient,
+		CopyObject:    nd.copyObject,
+		SendCreateObj: nd.sendCreateObj,
+		Observer:      (*nodeObserver)(nd),
+	}
+	if cfg.Sim.Protocol.ReplicaFloor > 1 {
+		env.FindRepairTarget = nd.findRepairTarget
+	}
+	nd.host, err = protocol.NewHost(id, cfg.Sim.Protocol, env, srv)
+	if err != nil {
+		return nil, err
+	}
+	nd.seedPlacement()
+	nd.buildMux()
+	return nd, nil
+}
+
+// seedPlacement installs the paper's round-robin initial assignment: this
+// node seeds the objects homed on it, and its redirector (if any) records
+// the initial replica of every object it is responsible for. All state is
+// local — every fleet member derives the same assignment from the shared
+// configuration, so startup needs no cross-node traffic.
+func (nd *Node) seedPlacement() {
+	for i := 0; i < nd.cfg.Sim.Universe.Count; i++ {
+		id := object.ID(i)
+		home := nd.cfg.Sim.Universe.HomeNode(id, nd.n)
+		if home == nd.id {
+			nd.host.SeedObject(id)
+		}
+		if nd.redirector != nil && nd.redirectorLoc(id) == nd.id {
+			nd.redirector.NotifyReplicaChange(id, home, 1)
+		}
+	}
+}
+
+// redirectorLoc returns the node owning id's redirector (the simulator's
+// hash partition: redirector i of k gets objects with id % k == i).
+func (nd *Node) redirectorLoc(id object.ID) topology.NodeID {
+	return nd.redLocs[int(id)%len(nd.redLocs)]
+}
+
+// ID returns the node's ID.
+func (nd *Node) ID() topology.NodeID { return nd.id }
+
+// Handler returns the node's HTTP handler.
+func (nd *Node) Handler() http.Handler { return nd.mux }
+
+// Host exposes the protocol host for in-process inspection by tests. The
+// caller must not race it against live traffic.
+func (nd *Node) Host() *protocol.Host { return nd.host }
+
+// nextMsgID allocates a fleet-unique message ID: node ID in the high bits,
+// a per-node counter in the low 40.
+func (nd *Node) nextMsgID() uint64 {
+	return uint64(nd.id)<<40 | atomic.AddUint64(&nd.nextMsg, 1)
+}
+
+// event appends to the node's event log. Callers hold mu (the log is
+// drained under mu by /ctl/place and /ctl/events).
+func (nd *Node) event(e Event) { nd.events = append(nd.events, e) }
+
+// drainEvents returns and clears the event log. Callers hold mu.
+func (nd *Node) drainEvents() []Event {
+	ev := nd.events
+	nd.events = nil
+	return ev
+}
+
+// ---- Env wiring -----------------------------------------------------------
+
+// redirectorFor returns the control interface of id's redirector: the
+// co-located redirector under redMu, or an RPC stub toward the owning node.
+func (nd *Node) redirectorFor(id object.ID) protocol.RedirectorControl {
+	loc := nd.redirectorLoc(id)
+	if loc == nd.id {
+		return (*localRedirector)(nd)
+	}
+	return &remoteRedirector{nd: nd, loc: loc}
+}
+
+// peer returns the host to hand a CreateObj to: the real host for
+// loopback, a stub carrying the node identity and an on-demand load
+// fetcher for remote peers, nil for peers marked down (the simulator's
+// s.down check).
+func (nd *Node) peer(p topology.NodeID) *protocol.Host {
+	if p == nd.id {
+		return nd.host
+	}
+	if nd.peerDown(p) {
+		return nil
+	}
+	return protocol.NewPeerStub(p, &remoteLoads{nd: nd, peer: p})
+}
+
+func (nd *Node) peerDown(p topology.NodeID) bool {
+	nd.redMu.Lock()
+	defer nd.redMu.Unlock()
+	return nd.downPeers[p]
+}
+
+// findRecipient mirrors sim.findRecipient over the wire: query every live
+// peer's accept-side load and pick the one with the most relative headroom
+// strictly below its low watermark. A failed load query is the down-host
+// analog — the peer is skipped.
+func (nd *Node) findRecipient(exclude topology.NodeID) (topology.NodeID, bool) {
+	best, bestRel, found := topology.NodeID(0), 0.0, false
+	for i := 0; i < nd.n; i++ {
+		id := topology.NodeID(i)
+		if id == exclude || nd.peerDown(id) {
+			continue
+		}
+		rep, err := nd.fetchLoad(id, -1, 0)
+		if err != nil {
+			continue
+		}
+		rel := rep.AcceptLoad / rep.Low
+		if rep.AcceptLoad < rep.Low && (!found || rel < bestRel) {
+			best, bestRel, found = id, rel, true
+		}
+	}
+	return best, found
+}
+
+// findRepairTarget mirrors sim.findRepairTarget: the live peer with the
+// most relative headroom below its (availability-relaxed) accept ceiling
+// that does not already hold the object, skipping acquisition-halted hosts
+// when the availability objective is armed.
+func (nd *Node) findRepairTarget(now time.Duration, id object.ID, from topology.NodeID) (topology.NodeID, bool) {
+	w := nd.cfg.Sim.Protocol.AvailabilityWeight
+	best, bestRel, found := topology.NodeID(0), 0.0, false
+	for i := 0; i < nd.n; i++ {
+		nid := topology.NodeID(i)
+		if nid == from || nd.peerDown(nid) {
+			continue
+		}
+		rep, err := nd.fetchLoad(nid, id, now)
+		if err != nil || rep.Has {
+			continue
+		}
+		if w > 0 && rep.Halted {
+			continue
+		}
+		ceiling := rep.Low + w*(rep.High-rep.Low)
+		rel := rep.AcceptLoad / ceiling
+		if rep.AcceptLoad < ceiling && (!found || rel < bestRel) {
+			best, bestRel, found = nid, rel, true
+		}
+	}
+	return best, found
+}
+
+// fetchLoad queries a peer's /rpc/load. obj < 0 omits the replica-presence
+// and halt-guard fields.
+func (nd *Node) fetchLoad(p topology.NodeID, obj object.ID, now time.Duration) (LoadReply, error) {
+	q := url.Values{}
+	if obj >= 0 {
+		q.Set("obj", strconv.FormatInt(int64(obj), 10))
+		q.Set("now", strconv.FormatInt(int64(now), 10))
+	}
+	var rep LoadReply
+	if err := nd.client.get(nd.peers[p], PathLoad, q, &rep); err != nil {
+		return LoadReply{}, err
+	}
+	return rep, nil
+}
+
+// copyObject runs on the accepting side of a CreateObj that materialized a
+// new replica: fetch the object's bytes from the source over the data
+// plane and record the copy for the driver's network accounting. The fetch
+// is best-effort — in the simulation the copy cannot fail, and a live
+// source that died mid-handshake leaves the replica to be healed by the
+// next placement pass; the copy event is recorded regardless so the
+// accounting matches the simulator's.
+func (nd *Node) copyObject(now time.Duration, from, to topology.NodeID, id object.ID) {
+	if from != nd.id {
+		_ = nd.fetchBytes(from, id)
+	}
+	nd.event(Event{At: int64(now), Kind: EventCopy, Object: int64(id), From: int(from), To: int(to)})
+}
+
+// fetchBytes GETs an object's bytes from a peer's /fetch endpoint.
+func (nd *Node) fetchBytes(from topology.NodeID, id object.ID) error {
+	u := nd.peers[from] + PathFetch + strconv.FormatInt(int64(id), 10)
+	res, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("live: fetch %s: status %d", u, res.StatusCode)
+	}
+	got, err := io.Copy(io.Discard, res.Body)
+	if err != nil {
+		return err
+	}
+	if got != int64(len(nd.payload)) {
+		return fmt.Errorf("live: fetch %s: %d bytes, want %d", u, got, len(nd.payload))
+	}
+	return nil
+}
+
+// sendCreateObj carries a CreateObj handshake to a remote peer as a
+// retried, idempotent RPC: the message ID doubles as the ctrlplane token,
+// so a CreateLost re-issue (same token, next placement interval) replays
+// the receiver's cached verdict instead of double-creating. The returned
+// completion time is the virtual send time — live handshakes resolve
+// inline, like the simulator's reliable path.
+func (nd *Node) sendCreateObj(now time.Duration, req protocol.CreateObjRequest, token uint64, _ func(at time.Duration) bool) (protocol.CreateObjStatus, uint64, time.Duration) {
+	msgID := token
+	if msgID == 0 {
+		msgID = nd.nextMsgID()
+	}
+	msg := CreateObjMsg{
+		MsgID:    msgID,
+		From:     int(req.From),
+		To:       int(req.To),
+		Method:   req.Method.String(),
+		Object:   int64(req.Object),
+		UnitLoad: req.UnitLoad,
+		SrcAff:   req.SrcAff,
+		Now:      int64(now),
+	}
+	var rep CreateObjReply
+	if err := nd.client.call(nd.peers[req.To], PathCreateObj, &msg, &rep); err != nil {
+		return protocol.CreateLost, msgID, now
+	}
+	if rep.Accepted {
+		return protocol.CreateAccepted, msgID, now
+	}
+	return protocol.CreateRefused, msgID, now
+}
+
+// nodeObserver appends protocol events to the node's log; the driver
+// drains and replays them into its metrics and network accounting. The
+// host only fires observer callbacks inside mutating entry points that
+// already hold mu.
+type nodeObserver Node
+
+func (o *nodeObserver) OnMigrate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
+	(*Node)(o).event(moveEvent(EventMigrate, int64(now), int64(id), int(from), int(to), kind))
+}
+
+func (o *nodeObserver) OnReplicate(now time.Duration, id object.ID, from, to topology.NodeID, kind protocol.MoveKind) {
+	(*Node)(o).event(moveEvent(EventReplicate, int64(now), int64(id), int(from), int(to), kind))
+}
+
+func (o *nodeObserver) OnDrop(now time.Duration, id object.ID, host topology.NodeID) {
+	(*Node)(o).event(Event{At: int64(now), Kind: EventDrop, Object: int64(id), From: int(host)})
+}
+
+func (o *nodeObserver) OnRefuse(now time.Duration, id object.ID, from, to topology.NodeID, method protocol.Method) {
+	(*Node)(o).event(Event{At: int64(now), Kind: EventRefuse, Object: int64(id), From: int(from), To: int(to), Method: method.String()})
+}
+
+func (o *nodeObserver) OnDefer(now time.Duration, id object.ID, from, to topology.NodeID, method protocol.Method) {
+	(*Node)(o).event(Event{At: int64(now), Kind: EventDefer, Object: int64(id), From: int(from), To: int(to), Method: method.String()})
+}
+
+// remoteLoads is the LoadSource behind a remote peer stub: Load answers
+// the peer's accept-side load fetched over the wire (the stub's estimator
+// is permanently inactive, so the fetched value passes through
+// LoadForAccept unchanged). An unreachable peer reads as infinitely loaded
+// — the offload walk stops, exactly as if the recipient had crossed its
+// watermark.
+type remoteLoads struct {
+	nd   *Node
+	peer topology.NodeID
+}
+
+func (r *remoteLoads) Load() float64 {
+	rep, err := r.nd.fetchLoad(r.peer, -1, 0)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return rep.AcceptLoad
+}
+
+func (r *remoteLoads) ObjectLoad(object.ID) float64 { return 0 }
+
+// localRedirector adapts the co-located redirector to RedirectorControl
+// under redMu. Methods are called with mu held (mu -> redMu is the
+// permitted order).
+type localRedirector Node
+
+func (l *localRedirector) NotifyReplicaChange(id object.ID, host topology.NodeID, aff int) {
+	l.redMu.Lock()
+	defer l.redMu.Unlock()
+	l.redirector.NotifyReplicaChange(id, host, aff)
+}
+
+func (l *localRedirector) RequestDrop(id object.ID, host topology.NodeID) bool {
+	l.redMu.Lock()
+	defer l.redMu.Unlock()
+	return l.redirector.RequestDrop(id, host)
+}
+
+func (l *localRedirector) ReplicaCount(id object.ID) int {
+	l.redMu.Lock()
+	defer l.redMu.Unlock()
+	return l.redirector.ReplicaCount(id)
+}
+
+func (l *localRedirector) ReplicaHosts(id object.ID, buf []topology.NodeID) []topology.NodeID {
+	l.redMu.Lock()
+	defer l.redMu.Unlock()
+	return l.redirector.ReplicaHosts(id, buf)
+}
+
+// remoteRedirector carries RedirectorControl calls to the owning node.
+// Notifications are retried by the client and abandoned on loss (the
+// simulated plane's lost-notification analog: reconciliation, not the
+// sender, heals the record). A lost drop arbitration conservatively keeps
+// the replica.
+type remoteRedirector struct {
+	nd  *Node
+	loc topology.NodeID
+}
+
+func (r *remoteRedirector) NotifyReplicaChange(id object.ID, host topology.NodeID, aff int) {
+	msg := NotifyMsg{MsgID: r.nd.nextMsgID(), Object: int64(id), Host: int(host), Aff: aff}
+	_ = r.nd.client.call(r.nd.peers[r.loc], PathNotify, &msg, nil)
+}
+
+func (r *remoteRedirector) RequestDrop(id object.ID, host topology.NodeID) bool {
+	msg := DropMsg{MsgID: r.nd.nextMsgID(), Object: int64(id), Host: int(host)}
+	var rep DropReply
+	if err := r.nd.client.call(r.nd.peers[r.loc], PathRequestDrop, &msg, &rep); err != nil {
+		return false
+	}
+	return rep.Approved
+}
+
+func (r *remoteRedirector) ReplicaCount(id object.ID) int {
+	rep, err := r.fetchReplicas(id, false)
+	if err != nil {
+		return 0
+	}
+	return rep.Count
+}
+
+func (r *remoteRedirector) ReplicaHosts(id object.ID, buf []topology.NodeID) []topology.NodeID {
+	buf = buf[:0]
+	rep, err := r.fetchReplicas(id, true)
+	if err != nil {
+		return buf
+	}
+	for _, h := range rep.Hosts {
+		buf = append(buf, topology.NodeID(h))
+	}
+	return buf
+}
+
+func (r *remoteRedirector) fetchReplicas(id object.ID, hosts bool) (ReplicasReply, error) {
+	q := url.Values{}
+	q.Set("obj", strconv.FormatInt(int64(id), 10))
+	if hosts {
+		q.Set("hosts", "1")
+	}
+	var rep ReplicasReply
+	if err := r.nd.client.get(r.nd.peers[r.loc], PathReplicas, q, &rep); err != nil {
+		return ReplicasReply{}, err
+	}
+	return rep, nil
+}
+
+// ---- HTTP handlers --------------------------------------------------------
+
+func (nd *Node) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathHealth, func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	mux.HandleFunc(PathCreateObj, nd.handleCreateObj)
+	mux.HandleFunc(PathNotify, nd.handleNotify)
+	mux.HandleFunc(PathRequestDrop, nd.handleRequestDrop)
+	mux.HandleFunc(PathLoad, nd.handleLoad)
+	mux.HandleFunc(PathReplicas, nd.handleReplicas)
+	mux.HandleFunc(PathObj, nd.handleObj)
+	mux.HandleFunc(PathServe, nd.handleServe)
+	mux.HandleFunc(PathFetch, nd.handleFetch)
+	mux.HandleFunc(PathPlace, nd.handlePlace)
+	mux.HandleFunc(PathMeasure, nd.handleMeasure)
+	mux.HandleFunc(PathComplete, nd.handleComplete)
+	mux.HandleFunc(PathCensus, nd.handleCensus)
+	mux.HandleFunc(PathMark, nd.handleMark)
+	mux.HandleFunc(PathEvents, nd.handleEvents)
+	mux.HandleFunc(PathStats, nd.handleStats)
+	nd.mux = mux
+}
+
+// readBody decodes and validates a JSON request body, answering 400 with
+// the typed reason on failure.
+func readBody(w http.ResponseWriter, r *http.Request, msg validator) bool {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = Decode(data, msg)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, msg any) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(Encode(msg))
+}
+
+func (nd *Node) handleCreateObj(w http.ResponseWriter, r *http.Request) {
+	var msg CreateObjMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	if msg.To != int(nd.id) || msg.From >= nd.n {
+		http.Error(w, fmt.Sprintf("live: createobj addressed to node %d, this is node %d of %d", msg.To, nd.id, nd.n), http.StatusBadRequest)
+		return
+	}
+	method, _ := ParseMethod(msg.Method) // validated by Decode
+	reply := nd.creates.do(msg.MsgID, func() []byte {
+		nd.mu.Lock()
+		id := object.ID(msg.Object)
+		hadBefore := nd.host.Has(id)
+		accepted := nd.host.CreateObj(time.Duration(msg.Now), method, id, msg.UnitLoad, msg.SrcAff, topology.NodeID(msg.From))
+		nd.mu.Unlock()
+		return Encode(CreateObjReply{MsgID: msg.MsgID, Accepted: accepted, Copied: accepted && !hadBefore})
+	})
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(reply)
+}
+
+func (nd *Node) handleNotify(w http.ResponseWriter, r *http.Request) {
+	var msg NotifyMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	if nd.redirector == nil {
+		http.Error(w, "live: node hosts no redirector", http.StatusBadRequest)
+		return
+	}
+	// Replica-change notifications set the recorded affinity, so retries
+	// and duplicates are naturally idempotent — no verdict cache needed.
+	nd.redMu.Lock()
+	nd.redirector.NotifyReplicaChange(object.ID(msg.Object), topology.NodeID(msg.Host), msg.Aff)
+	nd.redMu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+func (nd *Node) handleRequestDrop(w http.ResponseWriter, r *http.Request) {
+	var msg DropMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	if nd.redirector == nil {
+		http.Error(w, "live: node hosts no redirector", http.StatusBadRequest)
+		return
+	}
+	// Drop arbitration is not naturally idempotent (an approved drop
+	// removes the record, so a replayed request would read "no replica"),
+	// hence the verdict cache.
+	reply := nd.drops.do(msg.MsgID, func() []byte {
+		nd.redMu.Lock()
+		ok := nd.redirector.RequestDrop(object.ID(msg.Object), topology.NodeID(msg.Host))
+		nd.redMu.Unlock()
+		return Encode(DropReply{MsgID: msg.MsgID, Approved: ok})
+	})
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(reply)
+}
+
+func (nd *Node) handleLoad(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	nd.mu.Lock()
+	p := nd.host.Params()
+	rep := LoadReply{
+		AcceptLoad: nd.host.Estimator().LoadForAccept(nd.srv.Load()),
+		Low:        p.LowWatermark,
+		High:       p.HighWatermark,
+	}
+	if objStr := q.Get("obj"); objStr != "" {
+		obj, err1 := strconv.ParseInt(objStr, 10, 64)
+		now, err2 := strconv.ParseInt(q.Get("now"), 10, 64)
+		if err1 != nil || err2 != nil || obj < 0 || now < 0 {
+			nd.mu.Unlock()
+			http.Error(w, "live: bad obj/now query", http.StatusBadRequest)
+			return
+		}
+		rep.Has = nd.host.Has(object.ID(obj))
+		rep.Halted = nd.host.AcquisitionHalted(time.Duration(now))
+	}
+	nd.mu.Unlock()
+	writeJSON(w, rep)
+}
+
+func (nd *Node) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	if nd.redirector == nil {
+		http.Error(w, "live: node hosts no redirector", http.StatusBadRequest)
+		return
+	}
+	obj, err := strconv.ParseInt(r.URL.Query().Get("obj"), 10, 64)
+	if err != nil || obj < 0 {
+		http.Error(w, "live: bad obj query", http.StatusBadRequest)
+		return
+	}
+	wantHosts := r.URL.Query().Get("hosts") != ""
+	nd.redMu.Lock()
+	rep := ReplicasReply{Count: nd.redirector.ReplicaCount(object.ID(obj))}
+	if wantHosts {
+		for _, h := range nd.redirector.ReplicaHosts(object.ID(obj), nil) {
+			rep.Hosts = append(rep.Hosts, int(h))
+		}
+	}
+	nd.redMu.Unlock()
+	writeJSON(w, rep)
+}
+
+// objQuery parses the {id}, g and now parameters of an object-request
+// endpoint.
+func objQuery(r *http.Request, prefix string, n int) (object.ID, topology.NodeID, time.Duration, error) {
+	idStr := r.URL.Path[len(prefix):]
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id < 0 {
+		return 0, 0, 0, fmt.Errorf("live: bad object id %q", idStr)
+	}
+	g, err := strconv.Atoi(r.URL.Query().Get("g"))
+	if err != nil || g < 0 || g >= n {
+		return 0, 0, 0, fmt.Errorf("live: bad gateway %q", r.URL.Query().Get("g"))
+	}
+	now, err := strconv.ParseInt(r.URL.Query().Get("now"), 10, 64)
+	if err != nil || now < 0 {
+		return 0, 0, 0, fmt.Errorf("live: bad now %q", r.URL.Query().Get("now"))
+	}
+	return object.ID(id), topology.NodeID(g), time.Duration(now), nil
+}
+
+// handleObj is the redirecting front-end: choose a replica for the object
+// and answer 302 to its serve URL, with the virtual arrival time (the
+// redirector->host control hop) in the response headers. now is the
+// request's virtual arrival time at the redirector.
+func (nd *Node) handleObj(w http.ResponseWriter, r *http.Request) {
+	id, g, now, err := objQuery(r, PathObj, nd.n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if nd.redirector == nil || nd.redirectorLoc(id) != nd.id {
+		http.Error(w, "live: wrong redirector for object", http.StatusBadRequest)
+		return
+	}
+	nd.redMu.Lock()
+	h, err := nd.redirector.ChooseReplica(g, id)
+	nd.redMu.Unlock()
+	if err != nil {
+		// No choosable replica (every copy on killed hosts): the request
+		// fails at the redirector.
+		w.Header().Set(HeaderFailedAt, strconv.FormatInt(int64(now), 10))
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	// Redirector -> host is one more control hop of pure latency.
+	arrive := now + time.Duration(nd.routes.Distance(nd.id, h))*nd.cfg.Sim.Net.HopDelay
+	w.Header().Set(HeaderHost, strconv.Itoa(int(h)))
+	w.Header().Set(HeaderArrive, strconv.FormatInt(int64(arrive), 10))
+	u := fmt.Sprintf("%s%s%d?g=%d&now=%d", nd.peers[h], PathServe, int64(id), int(g), int64(arrive))
+	http.Redirect(w, r, u, http.StatusFound)
+}
+
+// handleServe admits an object request into the FCFS queue. now is the
+// request's virtual arrival time at this host. The response carries the
+// virtual service completion time; the driver reports that completion back
+// via /ctl/complete when virtual time reaches it, which is when load
+// measurement and access counts record the serviced request — exactly the
+// simulator's two-phase arrival/completion split.
+func (nd *Node) handleServe(w http.ResponseWriter, r *http.Request) {
+	_, _, now, err := objQuery(r, PathServe, nd.n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nd.mu.Lock()
+	if t := nd.cfg.Sim.ClientTimeout; t > 0 && nd.srv.QueueDelay(now) > t {
+		nd.mu.Unlock()
+		w.Header().Set(HeaderTimeout, "1")
+		http.Error(w, "live: client timeout", http.StatusServiceUnavailable)
+		return
+	}
+	done := nd.srv.Enqueue(now, 0)
+	nd.mu.Unlock()
+	w.Header().Set(HeaderDone, strconv.FormatInt(int64(done), 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(nd.payload)
+}
+
+func (nd *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if _, err := strconv.ParseInt(r.URL.Path[len(PathFetch):], 10, 64); err != nil {
+		http.Error(w, "live: bad object id", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(nd.payload)
+}
+
+func (nd *Node) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var msg TickMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	nd.mu.Lock()
+	sum := nd.host.DecidePlacement(time.Duration(msg.Now))
+	ev := nd.drainEvents()
+	nd.mu.Unlock()
+	writeJSON(w, PlaceReply{Summary: sum, Events: ev})
+}
+
+func (nd *Node) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var msg TickMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	nd.mu.Lock()
+	start := nd.srv.CloseInterval(time.Duration(msg.Now))
+	nd.host.OnMeasurementIntervalClose(start)
+	load := nd.srv.Load()
+	lower, upper := nd.host.Estimator().Bounds(load)
+	nd.mu.Unlock()
+	writeJSON(w, MeasureReply{Start: int64(start), Load: load, Lower: lower, Upper: upper})
+}
+
+func (nd *Node) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var msg CompleteMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	nd.mu.Lock()
+	nd.srv.OnServed(object.ID(msg.Object))
+	nd.host.OnRequest(object.ID(msg.Object), topology.NodeID(msg.Gateway))
+	nd.mu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+func (nd *Node) handleCensus(w http.ResponseWriter, r *http.Request) {
+	if nd.redirector == nil {
+		http.Error(w, "live: node hosts no redirector", http.StatusBadRequest)
+		return
+	}
+	var rep CensusReply
+	floor := nd.cfg.Sim.Protocol.ReplicaFloor
+	nd.redMu.Lock()
+	for i := 0; i < nd.cfg.Sim.Universe.Count; i++ {
+		id := object.ID(i)
+		if nd.redirectorLoc(id) != nd.id {
+			continue
+		}
+		c := nd.redirector.ReplicaCount(id)
+		rep.Objects++
+		rep.TotalReplicas += c
+		if floor > 1 && c < floor {
+			rep.BelowFloor++
+		}
+	}
+	nd.redMu.Unlock()
+	writeJSON(w, rep)
+}
+
+func (nd *Node) handleMark(w http.ResponseWriter, r *http.Request) {
+	var msg MarkMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	if msg.Host >= nd.n {
+		http.Error(w, fmt.Sprintf("live: host %d outside fleet of %d", msg.Host, nd.n), http.StatusBadRequest)
+		return
+	}
+	nd.redMu.Lock()
+	nd.downPeers[msg.Host] = msg.Down
+	if msg.Down && !nd.filtering && nd.redirector != nil {
+		// Arm the redirector's reachability filter on the first mark-down.
+		// Installing it lazily keeps fully-healthy fleets on the unfiltered
+		// ChooseReplica path — the one the simulator takes in fault-free
+		// runs, which the equivalence test pins.
+		nd.filtering = true
+		down := nd.downPeers
+		nd.redirector.SetReachable(func(h topology.NodeID) bool { return !down[h] })
+	}
+	nd.redMu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+func (nd *Node) handleEvents(w http.ResponseWriter, r *http.Request) {
+	nd.mu.Lock()
+	ev := nd.drainEvents()
+	nd.mu.Unlock()
+	writeJSON(w, EventsReply{Events: ev})
+}
+
+func (nd *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	nd.mu.Lock()
+	rep := StatsReply{
+		Host:                  nd.host.Stats,
+		TotalServed:           nd.srv.TotalServed(),
+		MaxQueueLen:           nd.srv.MaxQueueLen(),
+		CreateExecutions:      nd.creates.Executed(),
+		CreatePeakConcurrency: nd.creates.Peak(),
+	}
+	nd.mu.Unlock()
+	writeJSON(w, rep)
+}

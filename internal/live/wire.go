@@ -1,0 +1,520 @@
+// Package live runs the replica placement and request distribution
+// protocol over real sockets: each node process owns one protocol.Host
+// (and, when it is a redirector location, one protocol.Redirector) behind
+// an HTTP/JSON control plane, a redirecting front-end answers object
+// requests with 302s to the chosen replica host, and a driver replays the
+// simulator's exact event schedule against the fleet, so the deterministic
+// simulation remains the executable spec for what a live fleet must do.
+//
+// The wire format is deliberately small: JSON bodies with explicit message
+// IDs on every mutating RPC, so servers can deduplicate retries and
+// duplicates exactly like the simulated control plane's message-ID-keyed
+// idempotence. Virtual timestamps travel as int64 nanoseconds; the nodes
+// are clock-less and advance only when a request tells them what time it
+// is (see DESIGN.md §4.8 for why this is what keeps live mode pinned to
+// the simulator).
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"radar/internal/protocol"
+)
+
+// HTTP paths of the live control plane. Object-request paths take the
+// object ID as a suffix (/obj/17), RPC and control paths take JSON bodies
+// or query parameters.
+const (
+	// PathObj is the redirecting front-end: GET /obj/{id}?g=G&now=N on the
+	// node owning the object's redirector answers 302 with the chosen
+	// replica's serve URL.
+	PathObj = "/obj/"
+	// PathServe serves object bytes from a replica host:
+	// GET /serve/{id}?g=G&now=N.
+	PathServe = "/serve/"
+	// PathFetch transfers raw replica bytes host-to-host for CreateObj
+	// copies: GET /fetch/{id}.
+	PathFetch = "/fetch/"
+
+	PathCreateObj   = "/rpc/createobj"
+	PathNotify      = "/rpc/notify"
+	PathRequestDrop = "/rpc/requestdrop"
+	PathLoad        = "/rpc/load"
+	PathReplicas    = "/rpc/replicas"
+
+	PathPlace    = "/ctl/place"
+	PathMeasure  = "/ctl/measure"
+	PathComplete = "/ctl/complete"
+	PathCensus   = "/ctl/census"
+	PathMark     = "/ctl/mark"
+	PathEvents   = "/ctl/events"
+	PathStats    = "/ctl/stats"
+	PathHealth   = "/healthz"
+)
+
+// Response headers carrying virtual-time results of object requests.
+const (
+	// HeaderArrive is the virtual arrival time (ns) of a redirected
+	// request at the chosen replica host.
+	HeaderArrive = "X-Radar-Arrive"
+	// HeaderHost is the chosen replica host's node ID on a 302.
+	HeaderHost = "X-Radar-Host"
+	// HeaderFailedAt is the virtual time (ns) a request failed at the
+	// redirector (no reachable replica).
+	HeaderFailedAt = "X-Radar-Failed-At"
+	// HeaderDone is the virtual FCFS service completion time (ns) of an
+	// admitted request.
+	HeaderDone = "X-Radar-Done"
+	// HeaderTimeout marks a request refused by the client-timeout model
+	// (queue delay exceeded the configured timeout).
+	HeaderTimeout = "X-Radar-Timeout"
+)
+
+// WireError is the typed decode/validation error of the live wire format:
+// any malformed or out-of-range control-plane body yields one (never a
+// panic), so handlers can answer 400 with a structured reason.
+type WireError struct {
+	// Field names the offending field; empty for whole-body errors
+	// (malformed JSON).
+	Field string
+	// Reason says what was wrong.
+	Reason string
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	if e.Field == "" {
+		return fmt.Sprintf("live: bad message: %s", e.Reason)
+	}
+	return fmt.Sprintf("live: bad message field %s: %s", e.Field, e.Reason)
+}
+
+// validator is any wire message with self-validation; Decode runs it after
+// unmarshaling.
+type validator interface{ Validate() error }
+
+// Decode unmarshals data into msg and validates it. All errors are
+// *WireError.
+func Decode(data []byte, msg validator) error {
+	if err := json.Unmarshal(data, msg); err != nil {
+		return &WireError{Reason: err.Error()}
+	}
+	return msg.Validate()
+}
+
+// jsonUnmarshal decodes into a reply type without self-validation,
+// wrapping failures as *WireError.
+func jsonUnmarshal(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return &WireError{Reason: err.Error()}
+	}
+	return nil
+}
+
+// Encode marshals a wire message. Marshaling a validated message cannot
+// fail; Encode panics on the programming error that it does.
+func Encode(msg any) []byte {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		panic(fmt.Sprintf("live: encoding %T: %v", msg, err))
+	}
+	return data
+}
+
+// ParseMethod maps a wire method name back to the protocol method.
+func ParseMethod(s string) (protocol.Method, error) {
+	switch s {
+	case protocol.Migrate.String():
+		return protocol.Migrate, nil
+	case protocol.Replicate.String():
+		return protocol.Replicate, nil
+	case protocol.Repair.String():
+		return protocol.Repair, nil
+	default:
+		return 0, &WireError{Field: "method", Reason: fmt.Sprintf("unknown method %q", s)}
+	}
+}
+
+// ParseMoveKind maps a report move name back to the protocol move kind.
+func ParseMoveKind(s string) (protocol.MoveKind, error) {
+	switch s {
+	case protocol.GeoMove.String():
+		return protocol.GeoMove, nil
+	case protocol.LoadMove.String():
+		return protocol.LoadMove, nil
+	case protocol.RepairMove.String():
+		return protocol.RepairMove, nil
+	default:
+		return 0, &WireError{Field: "move", Reason: fmt.Sprintf("unknown move kind %q", s)}
+	}
+}
+
+// checkNode validates a node ID field (non-negative; the upper bound is
+// the receiver's fleet size, checked at dispatch, not here — the wire
+// format does not know the topology).
+func checkNode(field string, v int) error {
+	if v < 0 {
+		return &WireError{Field: field, Reason: fmt.Sprintf("negative node id %d", v)}
+	}
+	return nil
+}
+
+// checkTime validates a virtual timestamp in nanoseconds.
+func checkTime(field string, v int64) error {
+	if v < 0 {
+		return &WireError{Field: field, Reason: fmt.Sprintf("negative virtual time %d", v)}
+	}
+	return nil
+}
+
+// CreateObjMsg is the CreateObj handshake request (Fig. 4) on the wire:
+// protocol.CreateObjRequest plus the message identity and virtual send
+// time. Retries and duplicates carry the same MsgID and are answered from
+// the receiver's verdict cache without re-executing.
+type CreateObjMsg struct {
+	MsgID    uint64  `json:"msg_id"`
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Method   string  `json:"method"`
+	Object   int64   `json:"object"`
+	UnitLoad float64 `json:"unit_load"`
+	SrcAff   int     `json:"src_aff"`
+	Now      int64   `json:"now"`
+}
+
+// Validate implements validator.
+func (m *CreateObjMsg) Validate() error {
+	if m.MsgID == 0 {
+		return &WireError{Field: "msg_id", Reason: "zero message id"}
+	}
+	if err := checkNode("from", m.From); err != nil {
+		return err
+	}
+	if err := checkNode("to", m.To); err != nil {
+		return err
+	}
+	if _, err := ParseMethod(m.Method); err != nil {
+		return err
+	}
+	if m.Object < 0 {
+		return &WireError{Field: "object", Reason: fmt.Sprintf("negative object id %d", m.Object)}
+	}
+	if math.IsNaN(m.UnitLoad) || math.IsInf(m.UnitLoad, 0) || m.UnitLoad < 0 {
+		return &WireError{Field: "unit_load", Reason: fmt.Sprintf("unit load %v not a non-negative finite number", m.UnitLoad)}
+	}
+	if m.SrcAff < 1 {
+		return &WireError{Field: "src_aff", Reason: fmt.Sprintf("source affinity %d below 1", m.SrcAff)}
+	}
+	return checkTime("now", m.Now)
+}
+
+// CreateObjReply is the handshake verdict.
+type CreateObjReply struct {
+	MsgID    uint64 `json:"msg_id"`
+	Accepted bool   `json:"accepted"`
+	// Copied reports that acceptance created a new replica (the object
+	// bytes were fetched from the source), as opposed to incrementing an
+	// existing replica's affinity; the caller charges the transfer.
+	Copied bool `json:"copied,omitempty"`
+}
+
+// Validate implements validator.
+func (m *CreateObjReply) Validate() error {
+	if m.MsgID == 0 {
+		return &WireError{Field: "msg_id", Reason: "zero message id"}
+	}
+	return nil
+}
+
+// NotifyMsg is a replica-change notification to the object's redirector.
+type NotifyMsg struct {
+	MsgID  uint64 `json:"msg_id"`
+	Object int64  `json:"object"`
+	Host   int    `json:"host"`
+	Aff    int    `json:"aff"`
+}
+
+// Validate implements validator.
+func (m *NotifyMsg) Validate() error {
+	if m.MsgID == 0 {
+		return &WireError{Field: "msg_id", Reason: "zero message id"}
+	}
+	if m.Object < 0 {
+		return &WireError{Field: "object", Reason: fmt.Sprintf("negative object id %d", m.Object)}
+	}
+	if err := checkNode("host", m.Host); err != nil {
+		return err
+	}
+	if m.Aff < 0 {
+		return &WireError{Field: "aff", Reason: fmt.Sprintf("negative affinity %d", m.Aff)}
+	}
+	return nil
+}
+
+// DropMsg asks the object's redirector for permission to drop the last
+// affinity unit of a replica (Fig. 3's ReduceAffinity arbitration).
+type DropMsg struct {
+	MsgID  uint64 `json:"msg_id"`
+	Object int64  `json:"object"`
+	Host   int    `json:"host"`
+}
+
+// Validate implements validator.
+func (m *DropMsg) Validate() error {
+	if m.MsgID == 0 {
+		return &WireError{Field: "msg_id", Reason: "zero message id"}
+	}
+	if m.Object < 0 {
+		return &WireError{Field: "object", Reason: fmt.Sprintf("negative object id %d", m.Object)}
+	}
+	return checkNode("host", m.Host)
+}
+
+// DropReply is the arbitration verdict.
+type DropReply struct {
+	MsgID    uint64 `json:"msg_id"`
+	Approved bool   `json:"approved"`
+}
+
+// Validate implements validator.
+func (m *DropReply) Validate() error {
+	if m.MsgID == 0 {
+		return &WireError{Field: "msg_id", Reason: "zero message id"}
+	}
+	return nil
+}
+
+// LoadReply answers a load query (GET /rpc/load): the host's accept-side
+// load — the periodic load-report exchange of §4.2.2 turned into an
+// on-demand RPC — plus its watermarks and, when the query names an object
+// and a time, replica presence and the acquisition-halt guard, which
+// repair-target selection consults.
+type LoadReply struct {
+	AcceptLoad float64 `json:"accept_load"`
+	Low        float64 `json:"lw"`
+	High       float64 `json:"hw"`
+	Has        bool    `json:"has,omitempty"`
+	Halted     bool    `json:"halted,omitempty"`
+}
+
+// Validate implements validator.
+func (m *LoadReply) Validate() error {
+	if math.IsNaN(m.AcceptLoad) || math.IsInf(m.AcceptLoad, 0) || m.AcceptLoad < 0 {
+		return &WireError{Field: "accept_load", Reason: fmt.Sprintf("load %v not a non-negative finite number", m.AcceptLoad)}
+	}
+	if m.Low <= 0 || m.High <= m.Low {
+		return &WireError{Field: "lw", Reason: fmt.Sprintf("watermarks lw=%v hw=%v must satisfy 0 < lw < hw", m.Low, m.High)}
+	}
+	return nil
+}
+
+// ReplicasReply answers a replica-set query against the redirector's
+// records.
+type ReplicasReply struct {
+	Count int   `json:"count"`
+	Hosts []int `json:"hosts,omitempty"`
+}
+
+// Validate implements validator.
+func (m *ReplicasReply) Validate() error {
+	if m.Count < 0 {
+		return &WireError{Field: "count", Reason: fmt.Sprintf("negative count %d", m.Count)}
+	}
+	for _, h := range m.Hosts {
+		if err := checkNode("hosts", h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TickMsg drives one virtual-time control action on a node: a placement
+// pass (POST /ctl/place) or a measurement-interval close (POST
+// /ctl/measure).
+type TickMsg struct {
+	Now int64 `json:"now"`
+}
+
+// Validate implements validator.
+func (m *TickMsg) Validate() error { return checkTime("now", m.Now) }
+
+// PlaceReply reports one placement pass: the run summary and the node's
+// drained event log (placement decisions, refusals, deferrals, and object
+// copies recorded since the previous drain).
+type PlaceReply struct {
+	Summary protocol.PlacementSummary `json:"summary"`
+	Events  []Event                   `json:"events,omitempty"`
+}
+
+// Validate implements validator.
+func (m *PlaceReply) Validate() error {
+	for i := range m.Events {
+		if err := m.Events[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeasureReply reports one measurement-interval close: the closed
+// interval's start, the measured load, and the estimator's bounds.
+type MeasureReply struct {
+	Start int64   `json:"start"`
+	Load  float64 `json:"load"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+}
+
+// Validate implements validator.
+func (m *MeasureReply) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"load", m.Load}, {"lower", m.Lower}, {"upper", m.Upper}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return &WireError{Field: f.name, Reason: fmt.Sprintf("%v not a non-negative finite number", f.v)}
+		}
+	}
+	return nil
+}
+
+// CompleteMsg reports the FCFS service completion of a previously admitted
+// request: the node records the serviced request (access counts, load
+// measurement) at the given virtual time.
+type CompleteMsg struct {
+	Object  int64 `json:"object"`
+	Gateway int   `json:"g"`
+	Now     int64 `json:"now"`
+}
+
+// Validate implements validator.
+func (m *CompleteMsg) Validate() error {
+	if m.Object < 0 {
+		return &WireError{Field: "object", Reason: fmt.Sprintf("negative object id %d", m.Object)}
+	}
+	if err := checkNode("g", m.Gateway); err != nil {
+		return err
+	}
+	return checkTime("now", m.Now)
+}
+
+// CensusReply sums the recorded replica counts of every object whose
+// redirector this node owns.
+type CensusReply struct {
+	Objects       int `json:"objects"`
+	TotalReplicas int `json:"total_replicas"`
+	// BelowFloor counts this redirector's objects currently below the
+	// configured replica floor (zero unless a floor above 1 is armed).
+	BelowFloor int `json:"below_floor,omitempty"`
+}
+
+// Validate implements validator.
+func (m *CensusReply) Validate() error {
+	if m.Objects < 0 || m.TotalReplicas < 0 || m.BelowFloor < 0 {
+		return &WireError{Field: "objects", Reason: "negative census"}
+	}
+	return nil
+}
+
+// MarkMsg marks a fleet member down (or back up) on this node's
+// reachability view: its redirector stops choosing replicas on that host
+// and load queries skip it — the live analog of the simulator's
+// crash-detection control path.
+type MarkMsg struct {
+	Host int  `json:"host"`
+	Down bool `json:"down"`
+}
+
+// Validate implements validator.
+func (m *MarkMsg) Validate() error { return checkNode("host", m.Host) }
+
+// Event kinds appearing in node event logs.
+const (
+	EventMigrate   = "migrate"
+	EventReplicate = "replicate"
+	EventDrop      = "drop"
+	EventRefuse    = "refuse"
+	EventDefer     = "defer"
+	// EventCopy records an accepted CreateObj that materialized a new
+	// replica: the object's bytes traveled From -> To. The driver charges
+	// it to its network accounting as protocol overhead, mirroring the
+	// simulator's Env.CopyObject.
+	EventCopy = "copy"
+)
+
+// Event is one entry of a node's placement event log, mirroring
+// protocol.Observer callbacks (plus EventCopy) with virtual timestamps, so
+// the driver can replay the simulator's metrics accounting and the
+// equivalence test can compare decision sequences byte for byte.
+type Event struct {
+	At     int64  `json:"at"`
+	Kind   string `json:"kind"`
+	Object int64  `json:"object"`
+	From   int    `json:"from"`
+	To     int    `json:"to,omitempty"`
+	// Move is the MoveKind report name (geo/load/repair) on
+	// migrate/replicate events.
+	Move string `json:"move,omitempty"`
+	// Method is the CreateObj method name on refuse/defer events.
+	Method string `json:"method,omitempty"`
+}
+
+// Validate implements validator.
+func (e *Event) Validate() error {
+	switch e.Kind {
+	case EventMigrate, EventReplicate, EventDrop, EventRefuse, EventDefer, EventCopy:
+	default:
+		return &WireError{Field: "kind", Reason: fmt.Sprintf("unknown event kind %q", e.Kind)}
+	}
+	if err := checkTime("at", e.At); err != nil {
+		return err
+	}
+	if e.Object < 0 {
+		return &WireError{Field: "object", Reason: fmt.Sprintf("negative object id %d", e.Object)}
+	}
+	if err := checkNode("from", e.From); err != nil {
+		return err
+	}
+	return checkNode("to", e.To)
+}
+
+// EventsReply is a drained node event log (GET /ctl/events).
+type EventsReply struct {
+	Events []Event `json:"events,omitempty"`
+}
+
+// Validate implements validator.
+func (m *EventsReply) Validate() error {
+	for i := range m.Events {
+		if err := m.Events[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StatsReply is a node's activity snapshot (GET /ctl/stats): the host's
+// protocol counters, the server's volume counters, and the CreateObj
+// dedup/concurrency gauges the integration tests assert on.
+type StatsReply struct {
+	Host protocol.HostStats `json:"host"`
+
+	TotalServed int64 `json:"total_served"`
+	MaxQueueLen int   `json:"max_queue_len"`
+
+	// CreateExecutions counts CreateObj handlers actually executed (after
+	// dedup); CreatePeakConcurrency is the high-water mark of concurrent
+	// executions, bounded by the configured limit.
+	CreateExecutions      int64 `json:"create_executions"`
+	CreatePeakConcurrency int   `json:"create_peak_concurrency"`
+}
+
+// Validate implements validator.
+func (m *StatsReply) Validate() error {
+	if m.TotalServed < 0 || m.MaxQueueLen < 0 || m.CreateExecutions < 0 || m.CreatePeakConcurrency < 0 {
+		return &WireError{Field: "total_served", Reason: "negative counter"}
+	}
+	return nil
+}

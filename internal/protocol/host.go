@@ -26,6 +26,33 @@ type RedirectorControl interface {
 	ReplicaHosts(id object.ID, buf []topology.NodeID) []topology.NodeID
 }
 
+// CreateObjRequest is the wire-shaped payload of a CreateObj handshake
+// (Fig. 4): every field the callee-side handler needs, with no captured Go
+// state, so a transport can marshal it across a process boundary. The
+// callee resolves it as CreateObj(arrivalTime, Method, Object, UnitLoad,
+// SrcAff, From).
+type CreateObjRequest struct {
+	From     topology.NodeID
+	To       topology.NodeID
+	Method   Method
+	Object   object.ID
+	UnitLoad float64
+	SrcAff   int
+}
+
+// NewPeerStub builds a Host that stands in for a peer living in another
+// process: it carries only the node identity and a load source answering
+// the offload protocol's recipient-load reads (Fig. 5 consults the
+// recipient's accept-side load estimate; a remote stub's source reports
+// the value fetched from the real peer, and the stub's own estimator stays
+// permanently inactive so the fetched value passes through unmodified).
+// A live transport wires Env.Peer to return stubs; every actual protocol
+// interaction with the remote host travels through Env.SendCreateObj and
+// the redirector control interface, never through stub methods.
+func NewPeerStub(id topology.NodeID, loads LoadSource) *Host {
+	return &Host{ID: id, loads: loads}
+}
+
 // CreateObjStatus is the caller-visible outcome of a CreateObj handshake.
 type CreateObjStatus int
 
@@ -70,15 +97,19 @@ type Env struct {
 	// host state (e.g. the acquisition-halt guard). Required when
 	// Params.ReplicaFloor > 1; unused otherwise.
 	FindRepairTarget func(now time.Duration, id object.ID, from topology.NodeID) (topology.NodeID, bool)
-	// SendCreateObj, if non-nil, carries CreateObj handshakes over the
-	// unreliable control plane: it delivers the request from -> to as
-	// lossy message legs, runs exec (the callee-side handler, returning
-	// the accept verdict) at most once per token at the request's arrival
-	// time, and reports the outcome, the message token (pass it back to
-	// re-issue a CreateLost exchange with the same identity), and the
-	// caller-side completion time. Nil resolves handshakes inline and
-	// reliably — the paper's instantaneous model.
-	SendCreateObj func(now time.Duration, from, to topology.NodeID, token uint64, exec func(at time.Duration) bool) (CreateObjStatus, uint64, time.Duration)
+	// SendCreateObj, if non-nil, carries CreateObj handshakes over a
+	// control-plane transport: it delivers req from req.From to req.To,
+	// runs the callee-side handler at most once per token at the request's
+	// arrival time, and reports the outcome, the message token (pass it
+	// back to re-issue a CreateLost exchange with the same identity), and
+	// the caller-side completion time. The request is fully serializable so
+	// a transport may marshal it onto the wire; exec is a convenience for
+	// in-process transports (the simulator's lossy plane) and equals
+	// running CreateObj on the req.To host with req's fields — a remote
+	// transport ignores it and invokes the peer's handler instead. Nil
+	// resolves handshakes inline and reliably — the paper's instantaneous
+	// model.
+	SendCreateObj func(now time.Duration, req CreateObjRequest, token uint64, exec func(at time.Duration) bool) (CreateObjStatus, uint64, time.Duration)
 	// Store, if non-nil, is this host's replica-storage backend stack.
 	// CreateObj charges each accepted new replica to it as the last
 	// admission check (a full backend refuses like §2.1 storage
@@ -429,7 +460,15 @@ func (h *Host) createObj(now time.Duration, peer *Host, method Method, id object
 		}
 		return CreateRefused, 0, now
 	}
-	status, tok, doneAt := h.env.SendCreateObj(now, h.ID, peer.ID, token, func(at time.Duration) bool {
+	req := CreateObjRequest{
+		From:     h.ID,
+		To:       peer.ID,
+		Method:   method,
+		Object:   id,
+		UnitLoad: unitLoad,
+		SrcAff:   srcAff,
+	}
+	status, tok, doneAt := h.env.SendCreateObj(now, req, token, func(at time.Duration) bool {
 		return peer.CreateObj(at, method, id, unitLoad, srcAff, h.ID)
 	})
 	if status == CreateLost {

@@ -93,8 +93,8 @@ func (s *Simulation) ctrlNow() time.Duration {
 // handshake becomes a retried request/reply RPC, and the callee handler
 // runs under execAt so its own notifications depart at the request's true
 // arrival time.
-func (s *Simulation) sendCreateObj(now time.Duration, from, to topology.NodeID, token uint64, exec func(at time.Duration) bool) (protocol.CreateObjStatus, uint64, time.Duration) {
-	verdict, tok, doneAt, ok := s.ctrl.plane.Call(now, from, to, token, func(at time.Duration) bool {
+func (s *Simulation) sendCreateObj(now time.Duration, req protocol.CreateObjRequest, token uint64, exec func(at time.Duration) bool) (protocol.CreateObjStatus, uint64, time.Duration) {
+	verdict, tok, doneAt, ok := s.ctrl.plane.Call(now, req.From, req.To, token, func(at time.Duration) bool {
 		prev := s.ctrl.execAt
 		s.ctrl.execAt = at
 		res := exec(at)

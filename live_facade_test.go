@@ -1,0 +1,83 @@
+package radar_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"radar"
+)
+
+// TestLiveGroupValidation: the Live group validates in isolation and its
+// incompatibilities with simulation-only subsystems are caught at
+// Validate time as ConfigErrors.
+func TestLiveGroupValidation(t *testing.T) {
+	if err := (radar.Live{LiveMaxInflightCreates: -1}).Validate(); !errors.Is(err, radar.ErrBadConfig) {
+		t.Errorf("negative inflight limit: err = %v, want ErrBadConfig", err)
+	}
+	if err := (radar.Live{LiveMode: true, LiveMaxInflightCreates: 8}).Validate(); err != nil {
+		t.Errorf("valid live group rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*radar.Config)
+	}{
+		{"fault schedule", func(c *radar.Config) { c.Faults.FaultSchedule = "crash:9@3m+5m" }},
+		{"store stack", func(c *radar.Config) { c.Storage.Store = "cache(mem:64,disk:5ms)" }},
+		{"mixed consistency", func(c *radar.Config) { c.Consistency = radar.ConsistencyMixed }},
+		{"link contention", func(c *radar.Config) { c.LinkContention = true }},
+		{"sharded engine", func(c *radar.Config) { c.Shards = 4 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := radar.DefaultConfig(radar.Zipf)
+			cfg.Live.LiveMode = true
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if !errors.Is(err, radar.ErrBadConfig) {
+				t.Fatalf("err = %v, want ErrBadConfig", err)
+			}
+			var ce *radar.ConfigError
+			if !errors.As(err, &ce) || ce.Field != "Live.LiveMode" {
+				t.Fatalf("err = %v, want ConfigError on Live.LiveMode", err)
+			}
+		})
+	}
+}
+
+// TestRunSeedsRejectsLiveMode: live mode runs one fleet at a time.
+func TestRunSeedsRejectsLiveMode(t *testing.T) {
+	cfg := radar.DefaultConfig(radar.Uniform)
+	cfg.LiveMode = true
+	if _, err := radar.RunSeeds(cfg, []int64{1, 2}, 2); !errors.Is(err, radar.ErrBadConfig) {
+		t.Errorf("RunSeeds with LiveMode: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestRunLiveMode: the facade stands up a loopback fleet of real HTTP
+// servers over the full backbone, replays the workload, and reports the
+// simulation schema with no failed requests.
+func TestRunLiveMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live fleet replay over 53 loopback listeners; skipped in -short")
+	}
+	cfg := radar.DefaultConfig(radar.Zipf)
+	cfg.Objects = 106
+	cfg.Duration = 15 * time.Second
+	cfg.Live.LiveMode = true
+	res, err := radar.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.TotalServed == 0 {
+		t.Error("live fleet served no requests")
+	}
+	if s.FailedRequests != 0 || s.HostFailures != 0 {
+		t.Errorf("healthy live fleet reported %d failed requests, %d crashes", s.FailedRequests, s.HostFailures)
+	}
+	if s.TimedOutRequests != 0 {
+		t.Errorf("%d timed-out requests at nominal load", s.TimedOutRequests)
+	}
+}

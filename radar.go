@@ -28,6 +28,7 @@ import (
 	"radar/internal/consistency"
 	"radar/internal/experiments"
 	"radar/internal/fault"
+	"radar/internal/live"
 	"radar/internal/metrics"
 	"radar/internal/object"
 	"radar/internal/protocol"
@@ -276,6 +277,36 @@ func (c Ctrl) Validate() error {
 	return nil
 }
 
+// Live groups the live serving mode knobs. It is embedded in Config, so
+// fields read both grouped (cfg.Live.LiveMode) and flat (cfg.LiveMode).
+type Live struct {
+	// LiveMode runs the configuration against an in-process loopback fleet
+	// of real HTTP servers instead of the simulator: one listener per
+	// backbone node, each owning the node's protocol host (and redirector,
+	// on redirector locations), with a driver replaying the simulator's
+	// event schedule over the wire. The deterministic simulation remains
+	// the executable spec — a healthy live run reproduces the simulator's
+	// placement decision sequence — but live mode refuses the
+	// simulation-only subsystems (fault injection, storage stacks, mixed
+	// consistency, link contention, sharding, trace writers).
+	LiveMode bool
+	// LiveMaxInflightCreates caps concurrent CreateObj executions per live
+	// node (duplicate messages are deduplicated and answer the cached
+	// verdict). Zero selects the default limit.
+	LiveMaxInflightCreates int
+}
+
+// Validate checks the live group in isolation.
+func (l Live) Validate() error {
+	if l.LiveMaxInflightCreates < 0 {
+		return &ConfigError{
+			Field: "Live.LiveMaxInflightCreates", Value: l.LiveMaxInflightCreates,
+			Reason: "negative",
+		}
+	}
+	return nil
+}
+
 // Storage groups the replica-storage stack knobs. It is embedded in
 // Config; the zero value selects the default in-memory backend, which is
 // byte-identical to releases that predate storage modeling.
@@ -364,6 +395,7 @@ type Config struct {
 	Faults
 	Ctrl
 	Storage
+	Live
 }
 
 // DefaultConfig returns the paper's Table 1 configuration under the given
@@ -449,7 +481,33 @@ func (c Config) Validate() error {
 	if err := c.Ctrl.Validate(); err != nil {
 		return err
 	}
-	return c.Storage.Validate()
+	if err := c.Storage.Validate(); err != nil {
+		return err
+	}
+	if err := c.Live.Validate(); err != nil {
+		return err
+	}
+	if c.LiveMode {
+		reason := ""
+		switch {
+		case c.Faults.FaultSchedule != "":
+			reason = "live mode is incompatible with fault injection (kill live nodes instead)"
+		case c.Storage.Store != "":
+			reason = "live mode is incompatible with replica-storage stacks"
+		case c.Consistency == ConsistencyMixed:
+			reason = "live mode is incompatible with mixed consistency"
+		case c.LinkContention:
+			reason = "live mode is incompatible with link contention"
+		case c.Shards != 0 && c.Shards != 1:
+			reason = "live mode is incompatible with the sharded engine"
+		case c.TraceWriter != nil:
+			reason = "live mode does not support trace writers"
+		}
+		if reason != "" {
+			return &ConfigError{Field: "Live.LiveMode", Value: true, Reason: reason}
+		}
+	}
+	return nil
 }
 
 // knownWorkload reports whether w names one of the package's workloads.
@@ -628,6 +686,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.LiveMode {
+		return runLive(ctx, cfg, simCfg)
+	}
 	s, err := sim.New(*simCfg)
 	if err != nil {
 		return nil, err
@@ -664,6 +725,12 @@ func RunSeedsContext(ctx context.Context, cfg Config, seeds []int64, parallelism
 	if cfg.TraceWriter != nil && len(seeds) > 1 {
 		return nil, fmt.Errorf("%w: %d seeds", ErrTraceWriterShared, len(seeds))
 	}
+	if cfg.LiveMode {
+		return nil, &ConfigError{
+			Field: "Live.LiveMode", Value: true,
+			Reason: "live mode runs one fleet at a time; use Run per seed",
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -687,6 +754,34 @@ func RunSeedsContext(ctx context.Context, cfg Config, seeds []int64, parallelism
 		out[i] = convert(r.Results)
 	}
 	return out, nil
+}
+
+// runLive executes one configuration against an in-process loopback
+// fleet: real HTTP listeners, one per backbone node, driven through the
+// simulator's event schedule. Results use the same schema as a simulated
+// run (live-only gaps — e.g. post-run invariant sweeps — stay zero).
+func runLive(ctx context.Context, cfg Config, simCfg *sim.Config) (*Result, error) {
+	liveCfg := live.Config{Sim: *simCfg, MaxInflightCreates: cfg.LiveMaxInflightCreates}
+	if err := liveCfg.Validate(); err != nil {
+		return nil, &ConfigError{Field: "Live.LiveMode", Value: true, Reason: err.Error()}
+	}
+	fleet, err := live.NewFleet(liveCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+	if err := fleet.WaitHealthy(10 * time.Second); err != nil {
+		return nil, err
+	}
+	d, err := live.NewDriver(fleet.Config(), fleet.URLs())
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return convert(res), nil
 }
 
 func buildSimConfig(cfg Config) (*sim.Config, error) {
