@@ -9,28 +9,45 @@
 // started fleet of radar-node processes instead, which must have been
 // launched with the same scenario and overrides.
 //
+// With -free-running the fleet owns its clocks: nodes self-schedule their
+// control ticks, the generator paces requests in wall time, and instead of
+// comparing against the simulator the run is judged by an invariant
+// checker (-check) that scrapes the fleet's census and stats. -chaos takes
+// the simulator's fault-schedule DSL and deals it for real — SIGKILL-style
+// node crashes, control-plane partitions, client-hop latency — against the
+// in-process fleet, with crash windows reported to the checker.
+//
 // Examples:
 //
 //	radar-load -list
 //	radar-load -scenario steady-state-baseline -duration 2m -rps 10
 //	radar-load -scenario steady-state-baseline -duration 2m -rps 10 -gate-zero-failed
 //	radar-load -scenario steady-state-baseline -urls http://127.0.0.1:8300,http://127.0.0.1:8301,...
+//	radar-load -scenario steady-state-baseline -free-running -duration 10s -check
+//	radar-load -scenario steady-state-baseline -free-running -duration 15s -chaos "crash:2@5s+3s" -check
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"radar/internal/live"
+	"radar/internal/live/chaos"
+	"radar/internal/live/check"
 	"radar/internal/live/livetest"
 	"radar/internal/report"
+	"radar/internal/routing"
 	"radar/internal/scenario"
 	"radar/internal/sim"
+	"radar/internal/topology"
 )
 
 func main() {
@@ -42,14 +59,18 @@ func main() {
 
 func run() error {
 	var (
-		name       = flag.String("scenario", "steady-state-baseline", "scenario to replay (see -list)")
-		list       = flag.Bool("list", false, "list the scenario corpus and exit")
-		duration   = flag.Duration("duration", 0, "override the scenario's virtual duration (0 = keep)")
-		rps        = flag.Float64("rps", 0, "override the per-gateway request rate (0 = keep)")
-		seed       = flag.Int64("seed", 0, "override the scenario seed (0 = keep)")
-		urls       = flag.String("urls", "", "comma-separated radar-node base URLs (empty = in-process loopback fleet)")
-		inflight   = flag.Int("max-inflight-creates", 0, "per-node CreateObj concurrency limit (0 = default)")
-		gateFailed = flag.Bool("gate-zero-failed", false, "exit non-zero if any request failed or any node crashed")
+		name        = flag.String("scenario", "steady-state-baseline", "scenario to replay (see -list)")
+		list        = flag.Bool("list", false, "list the scenario corpus and exit")
+		duration    = flag.Duration("duration", 0, "override the scenario's virtual duration (0 = keep); wall-clock in free-running mode")
+		rps         = flag.Float64("rps", 0, "override the per-gateway request rate (0 = keep)")
+		seed        = flag.Int64("seed", 0, "override the scenario seed (0 = keep)")
+		urls        = flag.String("urls", "", "comma-separated radar-node base URLs (empty = in-process loopback fleet)")
+		inflight    = flag.Int("max-inflight-creates", 0, "per-node CreateObj concurrency limit (0 = default)")
+		gateFailed  = flag.Bool("gate-zero-failed", false, "exit non-zero if any request failed or any node crashed")
+		freeRunning = flag.Bool("free-running", false, "free-running mode: nodes self-schedule on wall clocks; generator paces in real time")
+		chaosSched  = flag.String("chaos", "", "fault-DSL chaos schedule to deal against the fleet (implies -check; needs -free-running, in-process fleet)")
+		doCheck     = flag.Bool("check", false, "scrape the fleet and assert protocol invariants; exit non-zero on violations (needs -free-running)")
+		convergence = flag.Duration("convergence", 5*time.Second, "invariant checker's convergence budget: how long a bound may stay violated before it counts")
 	)
 	flag.Parse()
 
@@ -60,14 +81,21 @@ func run() error {
 		}
 		return nil
 	}
+	if (*chaosSched != "" || *doCheck) && !*freeRunning {
+		return fmt.Errorf("-chaos and -check need -free-running (driver-paced replay is verified against the simulator instead)")
+	}
 
-	cfg, err := buildConfig(*name, *duration, *rps, *seed, *inflight)
+	cfg, err := buildConfig(*name, *duration, *rps, *seed, *inflight, *freeRunning)
 	if err != nil {
 		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *freeRunning {
+		return runFree(ctx, cfg, *urls, *chaosSched, *doCheck || *chaosSched != "", *convergence, *gateFailed)
+	}
 
 	start := time.Now()
 	var res *sim.Results
@@ -110,10 +138,173 @@ func run() error {
 	return nil
 }
 
+// floorWaitTimeout bounds how long runFree waits for the fleet's initial
+// floor repair before starting the invariant checker: objects seed with a
+// single replica, so a fresh fleet legitimately spends its first moments
+// below the replica floor.
+const floorWaitTimeout = 30 * time.Second
+
+// runFree executes a free-running run: wall-clock load generation, an
+// optional chaos schedule against the in-process fleet, and an optional
+// invariant checker whose violations fail the run.
+func runFree(ctx context.Context, cfg live.Config, urlsCSV, schedule string, doCheck bool, convergence time.Duration, gate bool) error {
+	cfg = cfg.Normalized()
+	wall := cfg.Sim.Duration
+	var (
+		free      *live.FreeDriver
+		fleetURLs []string
+		target    *chaos.FleetTarget
+	)
+	if urlsCSV != "" {
+		if schedule != "" {
+			return fmt.Errorf("-chaos needs the in-process fleet (radar-load must own the node lifecycles to kill them); drop -urls")
+		}
+		fleetURLs = strings.Split(urlsCSV, ",")
+		d, err := live.NewFreeDriver(cfg, fleetURLs)
+		if err != nil {
+			return err
+		}
+		free = d
+	} else {
+		h, err := livetest.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		free = h.Free
+		fleetURLs = h.Fleet.URLs()
+		if schedule != "" {
+			target = chaos.NewFleetTarget(h.Fleet, free.SetLatency)
+			defer target.Close()
+		}
+	}
+
+	routes := routing.New(cfg.Sim.Topo)
+	redirectors := live.RedirectorLocations(routes, cfg.Sim.NumRedirectors)
+
+	var checker *check.Checker
+	stopCheck := func() {}
+	if doCheck {
+		// Judge steady-state maintenance, not the boot transient: wait for
+		// the self-scheduled placement passes to finish the initial floor
+		// repair before the first scrape.
+		if err := awaitFloor(ctx, fleetURLs, redirectors); err != nil {
+			return err
+		}
+		checker = check.New(check.Config{
+			URLs:        fleetURLs,
+			Redirectors: redirectors,
+			Convergence: convergence,
+		})
+		checkCtx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			checker.Run(checkCtx)
+		}()
+		stopCheck = func() { cancel(); <-done }
+	}
+
+	chaosDone := make(chan error, 1)
+	var ctl *chaos.Controller
+	if schedule != "" {
+		plan, err := chaos.Plan(schedule, cfg.Sim.Topo, wall, rand.New(rand.NewSource(cfg.Sim.Seed)))
+		if err != nil {
+			return err
+		}
+		var obs chaos.Observer
+		if checker != nil {
+			obs = checker
+		}
+		ctl = chaos.NewController(target, plan, obs)
+		go func() { chaosDone <- ctl.Run(ctx, time.Now()) }()
+	} else {
+		chaosDone <- nil
+	}
+
+	start := time.Now()
+	runErr := free.Run(ctx, wall)
+	wallTook := time.Since(start).Round(time.Millisecond)
+	chaosErr := <-chaosDone
+	stopCheck()
+	if runErr != nil {
+		return runErr
+	}
+	if chaosErr != nil {
+		return fmt.Errorf("chaos: %w", chaosErr)
+	}
+
+	res := free.Results(free.Census())
+	if err := report.Summary(res).Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nfree run: %d served, %d failed, %d timed out (wall time %v)\n",
+		res.TotalServed, res.FailedRequests, res.TimedOutRequests, wallTook)
+	if ctl != nil {
+		fmt.Printf("chaos: %d actions applied\n", len(ctl.Applied()))
+		for _, a := range ctl.Applied() {
+			fmt.Printf("  %s\n", a)
+		}
+	}
+
+	if checker != nil {
+		checker.CheckFailures(free.Failures())
+		rep := checker.Report()
+		fmt.Printf("invariants: %s\n", rep)
+		if !rep.OK() {
+			return fmt.Errorf("invariant check: %d violations", len(rep.Violations))
+		}
+	}
+	if gate && res.FailedRequests > 0 {
+		return fmt.Errorf("gate: %d failed requests (want zero)", res.FailedRequests)
+	}
+	return nil
+}
+
+// awaitFloor polls the redirectors' censuses until no object sits below
+// the replica floor (or with zero replicas), so invariant checking starts
+// from a converged fleet.
+func awaitFloor(ctx context.Context, urls []string, redirectors []topology.NodeID) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	defer client.CloseIdleConnections()
+	deadline := time.Now().Add(floorWaitTimeout)
+	for {
+		settled := true
+		for _, loc := range redirectors {
+			res, err := client.Get(urls[loc] + live.PathCensus)
+			if err != nil {
+				settled = false
+				continue
+			}
+			data, err := io.ReadAll(res.Body)
+			res.Body.Close()
+			if err != nil || res.StatusCode != http.StatusOK {
+				settled = false
+				continue
+			}
+			var rep live.CensusReply
+			if live.Decode(data, &rep) != nil || rep.BelowFloor > 0 || rep.Zero > 0 {
+				settled = false
+			}
+		}
+		if settled {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet did not repair the initial replica-floor deficit within %v", floorWaitTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
 // buildConfig resolves a scenario into a live fleet configuration with the
 // command-line overrides applied. radar-node uses the identical resolution,
 // so a driver and an externally launched fleet agree on every parameter.
-func buildConfig(name string, duration time.Duration, rps float64, seed int64, inflight int) (live.Config, error) {
+func buildConfig(name string, duration time.Duration, rps float64, seed int64, inflight int, freeRunning bool) (live.Config, error) {
 	sc, ok := scenario.ByName(name)
 	if !ok {
 		return live.Config{}, fmt.Errorf("unknown scenario %q (see -list)", name)
@@ -131,7 +322,7 @@ func buildConfig(name string, duration time.Duration, rps float64, seed int64, i
 	if seed != 0 {
 		simCfg.Seed = seed
 	}
-	cfg := live.Config{Sim: simCfg, MaxInflightCreates: inflight}
+	cfg := live.Config{Sim: simCfg, MaxInflightCreates: inflight, FreeRunning: freeRunning}
 	if err := cfg.Validate(); err != nil {
 		return live.Config{}, err
 	}

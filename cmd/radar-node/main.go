@@ -1,13 +1,26 @@
 // Command radar-node runs one live fleet member as a standalone process:
 // a protocol host and FCFS server (and, on redirector locations, the
 // redirector answering object requests with 302s) behind the HTTP/JSON
-// control plane. Nodes are clock-less — they advance only when a driver
-// (radar-load) tells them what virtual time it is — so a fleet of these
-// processes replays the simulator's schedule exactly.
+// control plane. In the default driver-paced mode nodes are clock-less —
+// they advance only when a driver (radar-load) tells them what virtual
+// time it is — so a fleet of these processes replays the simulator's
+// schedule exactly. With -free-running the node owns its clock instead:
+// measurement, placement, and census ticks self-schedule on jittered
+// wall-clock timers, and verification shifts to radar-load's invariant
+// checker.
 //
 // Every member of a fleet must be started with the same scenario and
 // overrides, and the -peers list must name every node's base URL in node
 // ID order (the entry for this node itself may be a placeholder).
+//
+// Lifecycle: SIGTERM (or SIGINT) begins a graceful drain — the listener
+// stops accepting, in-flight requests finish within -drain, and the
+// process exits 0 — while SIGKILL is the crash the chaos harness deals.
+// A restarted node should be given -recovered so it re-announces its
+// replicas to the fleet's redirectors before reporting ready. -ready-file
+// names a file created once the node is serving and recovered: the
+// process-level readiness signal the chaos controller's restart path
+// waits on.
 //
 // Example (3 terminals, after picking ports):
 //
@@ -26,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"radar/internal/live"
@@ -42,14 +56,18 @@ func main() {
 
 func run() error {
 	var (
-		name     = flag.String("scenario", "steady-state-baseline", "scenario the fleet replays")
-		id       = flag.Int("id", -1, "this node's ID (0..n-1 in the scenario's topology)")
-		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
-		peers    = flag.String("peers", "", "comma-separated base URLs of every fleet member, in node ID order")
-		duration = flag.Duration("duration", 0, "override the scenario's virtual duration (0 = keep)")
-		rps      = flag.Float64("rps", 0, "override the per-gateway request rate (0 = keep)")
-		seed     = flag.Int64("seed", 0, "override the scenario seed (0 = keep)")
-		inflight = flag.Int("max-inflight-creates", 0, "CreateObj concurrency limit (0 = default)")
+		name      = flag.String("scenario", "steady-state-baseline", "scenario the fleet replays")
+		id        = flag.Int("id", -1, "this node's ID (0..n-1 in the scenario's topology)")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		peers     = flag.String("peers", "", "comma-separated base URLs of every fleet member, in node ID order")
+		duration  = flag.Duration("duration", 0, "override the scenario's virtual duration (0 = keep)")
+		rps       = flag.Float64("rps", 0, "override the per-gateway request rate (0 = keep)")
+		seed      = flag.Int64("seed", 0, "override the scenario seed (0 = keep)")
+		inflight  = flag.Int("max-inflight-creates", 0, "CreateObj concurrency limit (0 = default)")
+		freeRun   = flag.Bool("free-running", false, "self-schedule control ticks on the wall clock instead of waiting for a driver")
+		recovered = flag.Bool("recovered", false, "this is a restart: re-announce held replicas to the redirectors before reporting ready")
+		readyFile = flag.String("ready-file", "", "create this file once serving and recovered (readiness signal for process supervisors)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown window on SIGTERM/SIGINT: finish in-flight requests, then exit")
 	)
 	flag.Parse()
 
@@ -77,7 +95,7 @@ func run() error {
 	if *seed != 0 {
 		simCfg.Seed = *seed
 	}
-	cfg := live.Config{Sim: simCfg, MaxInflightCreates: *inflight}
+	cfg := live.Config{Sim: simCfg, MaxInflightCreates: *inflight, FreeRunning: *freeRun}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -92,20 +110,39 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("radar-node: node %d of scenario %s serving on http://%s\n", *id, *name, ln.Addr())
+	mode := "driver-paced"
+	if *freeRun {
+		mode = "free-running"
+	}
+	fmt.Printf("radar-node: node %d of scenario %s serving on http://%s (%s)\n", *id, *name, ln.Addr(), mode)
 
 	srv := &http.Server{Handler: node.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Boot: in free-running mode this starts the tickers, and a recovered
+	// node re-registers its replicas first. /readyz answers 200 from here.
+	node.Start(time.Now(), *recovered)
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+			node.Stop()
+			return fmt.Errorf("writing ready file: %w", err)
+		}
+		defer os.Remove(*readyFile)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: stop accepting, finish what is in flight, stop
+		// the node's own goroutines, exit 0.
+		node.Stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
 	case err := <-errCh:
+		node.Stop()
 		return err
 	}
 }

@@ -1,0 +1,23 @@
+package fault
+
+import "radar/internal/topology"
+
+// TopoEdges lists a backbone's undirected edges with first endpoint <
+// second, in deterministic node order — the element order stochastic link
+// cycles draw in, and the edge universe Spec.Timeline validates scripted
+// link events against. The simulator and the live chaos controller both
+// derive their edge lists here so a schedule parses to the same timeline
+// in either world.
+func TopoEdges(t *topology.Topology) [][2]topology.NodeID {
+	var edges [][2]topology.NodeID
+	n := t.NumNodes()
+	for i := 0; i < n; i++ {
+		a := topology.NodeID(i)
+		for _, b := range t.Neighbors(a) {
+			if b > a {
+				edges = append(edges, [2]topology.NodeID{a, b})
+			}
+		}
+	}
+	return edges
+}

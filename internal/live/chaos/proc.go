@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"radar/internal/topology"
+)
+
+// Proc describes one restartable node process: the argv to launch it and
+// the ready file its -ready-file flag points at. The ready file is the
+// process-world readiness signal (the counterpart of /readyz): the node
+// creates it once it is serving and has finished recovery, and Restart
+// removes it before relaunching so it cannot observe a stale one.
+type Proc struct {
+	Command   []string
+	ReadyFile string
+}
+
+// ProcTarget adapts a fleet of real node processes (cmd/radar-node) to the
+// controller. Kill delivers SIGKILL and reaps the process; Restart
+// relaunches the same argv and waits for the ready file. Partitions and
+// latency are not supported at the process level — those act through the
+// fleet's peer tables and the load generator, which live outside the node
+// processes — so schedules using them need the in-process FleetTarget.
+type ProcTarget struct {
+	specs        []Proc
+	readyTimeout time.Duration
+
+	mu   sync.Mutex
+	cmds []*exec.Cmd
+}
+
+// NewProcTarget builds a target for the given processes. Start launches
+// them.
+func NewProcTarget(specs []Proc) *ProcTarget {
+	return &ProcTarget{
+		specs:        append([]Proc(nil), specs...),
+		readyTimeout: 30 * time.Second,
+		cmds:         make([]*exec.Cmd, len(specs)),
+	}
+}
+
+// Start launches every process and waits until all ready files exist.
+func (t *ProcTarget) Start() error {
+	for i := range t.specs {
+		if err := t.launch(i); err != nil {
+			t.Close()
+			return err
+		}
+	}
+	for i := range t.specs {
+		if err := t.awaitReady(i); err != nil {
+			t.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *ProcTarget) launch(i int) error {
+	spec := t.specs[i]
+	if len(spec.Command) == 0 {
+		return fmt.Errorf("chaos: process %d has no command", i)
+	}
+	if spec.ReadyFile != "" {
+		_ = os.Remove(spec.ReadyFile)
+	}
+	cmd := exec.Command(spec.Command[0], spec.Command[1:]...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	// Each node gets its own process group so Kill takes down the whole
+	// tree (a shell wrapper's children included), like a real crash.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("chaos: starting process %d: %w", i, err)
+	}
+	t.mu.Lock()
+	t.cmds[i] = cmd
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *ProcTarget) awaitReady(i int) error {
+	spec := t.specs[i]
+	if spec.ReadyFile == "" {
+		return nil
+	}
+	deadline := time.Now().Add(t.readyTimeout)
+	for {
+		if _, err := os.Stat(spec.ReadyFile); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: process %d not ready after %v", i, t.readyTimeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Kill implements Target: SIGKILL and reap.
+func (t *ProcTarget) Kill(n topology.NodeID) error {
+	t.mu.Lock()
+	cmd := t.cmds[n]
+	t.cmds[n] = nil
+	t.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("chaos: process %d is not running", n)
+	}
+	killTree(cmd)
+	_ = cmd.Wait() // reap; a killed process's exit error is expected
+	if t.specs[n].ReadyFile != "" {
+		_ = os.Remove(t.specs[n].ReadyFile)
+	}
+	return nil
+}
+
+// Restart implements Target: relaunch the argv and wait for readiness.
+func (t *ProcTarget) Restart(n topology.NodeID) error {
+	t.mu.Lock()
+	running := t.cmds[n] != nil
+	t.mu.Unlock()
+	if running {
+		return fmt.Errorf("chaos: restarting process %d, which is still running", n)
+	}
+	if err := t.launch(int(n)); err != nil {
+		return err
+	}
+	return t.awaitReady(int(n))
+}
+
+// SetPartition implements Target; unsupported for process fleets.
+func (t *ProcTarget) SetPartition(a, b topology.NodeID, cut bool) error {
+	return fmt.Errorf("chaos: partitions need the in-process fleet target")
+}
+
+// SetLatency implements Target; unsupported for process fleets.
+func (t *ProcTarget) SetLatency(d time.Duration) error {
+	return fmt.Errorf("chaos: latency injection needs the in-process fleet target")
+}
+
+// Close kills every process still running.
+func (t *ProcTarget) Close() {
+	t.mu.Lock()
+	cmds := append([]*exec.Cmd(nil), t.cmds...)
+	for i := range t.cmds {
+		t.cmds[i] = nil
+	}
+	t.mu.Unlock()
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			killTree(cmd)
+			_ = cmd.Wait()
+		}
+	}
+}
+
+// killTree SIGKILLs the process's group, falling back to the process
+// alone if the group is gone.
+func killTree(cmd *exec.Cmd) {
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		_ = cmd.Process.Kill()
+	}
+}

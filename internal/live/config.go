@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"time"
 
 	"radar/internal/ctrlplane"
 	"radar/internal/protocol"
@@ -31,11 +32,61 @@ type Config struct {
 	// budget, and backoff, reusing ctrlplane.Params (zero fields select
 	// the ctrlplane defaults).
 	RPC ctrlplane.Params
+
+	// FreeRunning switches the fleet from driver-paced to self-scheduled
+	// operation: nodes own wall-clock timers for their measurement,
+	// placement, and census ticks, virtual time is wall time since node
+	// start, and peer handlers answer busy (503, retried by the caller)
+	// rather than block when a concurrent placement pass holds the node.
+	// Verification shifts from sequence equality to invariants (package
+	// live/check); driver-paced replay of the same Config is untouched.
+	FreeRunning bool
+
+	// FreeRun tunes the free-running timers; zero fields take defaults
+	// derived from the simulation intervals.
+	FreeRun FreeRun
+
+	// RetryBudget arms the per-peer retry token bucket with this many
+	// tokens (free-running mode defaults to DefaultRetryBudget). Zero
+	// disables the budget — the driver-paced default, where retry cutoffs
+	// would perturb the pinned schedule.
+	RetryBudget int
 }
+
+// FreeRun groups the free-running mode's wall-clock timer periods. In
+// free-running mode virtual time is wall time, so the defaults map the
+// simulation's virtual intervals one-to-one onto real ones.
+type FreeRun struct {
+	// Measurement is the load-measurement interval (default:
+	// Sim.Server.MeasurementInterval).
+	Measurement time.Duration
+	// Placement is the placement-pass interval (default:
+	// Sim.PlacementInterval).
+	Placement time.Duration
+	// Census is the census/self-audit interval (default: Placement).
+	Census time.Duration
+	// Jitter is the fraction of each period by which ticks are randomly
+	// advanced or delayed, in [0,1) (default DefaultFreeRunJitter), so a
+	// fleet started in the same instant does not phase-lock its placement
+	// passes.
+	Jitter float64
+}
+
+// Free-running defaults.
+const (
+	DefaultRetryBudget   = 8
+	DefaultFreeRunJitter = 0.1
+)
 
 // DefaultMaxInflightCreates is the per-node CreateObj concurrency limit
 // when Config.MaxInflightCreates is zero.
 const DefaultMaxInflightCreates = 4
+
+// Normalized returns the configuration with every default resolved — the
+// exact configuration a fleet, driver, or checker built from c will run
+// with. Callers that need the resolved topology (to compute redirector
+// locations, say) before constructing any of those should go through it.
+func (c Config) Normalized() Config { return c.normalize() }
 
 // normalize resolves defaults: the UUNET topology for a nil Topo, the
 // ctrlplane RPC defaults, and the CreateObj concurrency default.
@@ -47,6 +98,23 @@ func (c Config) normalize() Config {
 		c.MaxInflightCreates = DefaultMaxInflightCreates
 	}
 	c.RPC = c.RPC.WithDefaults()
+	if c.FreeRunning {
+		if c.FreeRun.Measurement == 0 {
+			c.FreeRun.Measurement = c.Sim.Server.MeasurementInterval
+		}
+		if c.FreeRun.Placement == 0 {
+			c.FreeRun.Placement = c.Sim.PlacementInterval
+		}
+		if c.FreeRun.Census == 0 {
+			c.FreeRun.Census = c.FreeRun.Placement
+		}
+		if c.FreeRun.Jitter == 0 {
+			c.FreeRun.Jitter = DefaultFreeRunJitter
+		}
+		if c.RetryBudget == 0 {
+			c.RetryBudget = DefaultRetryBudget
+		}
+	}
 	return c
 }
 
@@ -66,6 +134,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.RPC.Validate(); err != nil {
 		return err
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("live: negative RetryBudget %d", c.RetryBudget)
+	}
+	if c.FreeRun.Measurement < 0 || c.FreeRun.Placement < 0 || c.FreeRun.Census < 0 {
+		return fmt.Errorf("live: negative free-running interval")
+	}
+	if c.FreeRun.Jitter < 0 || c.FreeRun.Jitter >= 1 {
+		return fmt.Errorf("live: free-running jitter %v outside [0,1)", c.FreeRun.Jitter)
 	}
 	switch {
 	case c.Sim.Faults.Enabled() || c.Sim.Faults.HasMessageFaults() || len(c.Sim.Failures) > 0:

@@ -37,12 +37,19 @@ func newCallDedup(limit int) *callDedup {
 // do returns the reply for msgID, running fn at most once across all
 // retries and concurrent duplicates of the message and holding its result
 // for replay. fn runs inside the concurrency gate.
-func (d *callDedup) do(msgID uint64, fn func() []byte) []byte {
+//
+// fn reports whether it produced a verdict. A false return means fn could
+// not execute at all (a free-running handler failing to take its node lock
+// within the busy deadline): nothing is cached, the attempt does not count
+// as an execution, and the caller answers 503 so the client's retry — same
+// message ID — executes fn afresh. Concurrent duplicates waiting on a
+// busy-failed first copy loop back and try executing themselves.
+func (d *callDedup) do(msgID uint64, fn func() ([]byte, bool)) ([]byte, bool) {
 	for {
 		d.mu.Lock()
 		if r, ok := d.done[msgID]; ok {
 			d.mu.Unlock()
-			return r
+			return r, true
 		}
 		if ch, ok := d.inflight[msgID]; ok {
 			// A concurrent duplicate: wait for the first copy's execution
@@ -61,19 +68,21 @@ func (d *callDedup) do(msgID uint64, fn func() []byte) []byte {
 		if d.cur > d.peak {
 			d.peak = d.cur
 		}
-		d.executed++
 		d.mu.Unlock()
 
-		r := fn()
+		r, ok := fn()
 
 		d.mu.Lock()
 		d.cur--
-		d.done[msgID] = r
+		if ok {
+			d.executed++
+			d.done[msgID] = r
+		}
 		delete(d.inflight, msgID)
 		d.mu.Unlock()
 		<-d.sem
 		close(ch)
-		return r
+		return r, ok
 	}
 }
 

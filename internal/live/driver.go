@@ -140,6 +140,11 @@ func (d *Driver) At(at time.Duration, fn func()) {
 // request to the node fails at the transport.
 func (d *Driver) MarkDown(i topology.NodeID) { d.markDown(i) }
 
+// Close releases the driver's idle HTTP connections; their keep-alive
+// goroutines would otherwise outlive the run and trip the goroutine-leak
+// check the integration harness runs at teardown.
+func (d *Driver) Close() { d.client.CloseIdleConnections() }
+
 // Decisions returns the replayed placement decision sequence (migrate,
 // replicate, drop, refuse, defer — copies excluded), in the order the
 // fleet's placement passes produced them. The equivalence test compares

@@ -14,18 +14,24 @@ import (
 // Fleet runs every node of one configuration in-process, each behind its
 // own loopback HTTP listener on an ephemeral port — the harness the
 // integration tests, the equivalence test, and radar-load's default mode
-// drive. Kill closes a node's listener and in-flight connections, making
-// the node indistinguishable from a crashed process to the rest of the
-// fleet (connections refused), without tearing down its in-memory state.
+// drive. Kill closes a node's listener and in-flight connections and stops
+// the node's own goroutines (tickers, pending completions, in-flight
+// client retries), making the node indistinguishable from a SIGKILLed
+// process to the rest of the fleet: connections refused, no further
+// control traffic. Restart brings a killed node back on its original
+// address as a fresh incarnation booted from the seed image, the way a
+// crashed process restarts from disk.
 type Fleet struct {
 	cfg    Config
 	routes *routing.Table
-	nodes  []*Node
+	epoch  time.Time
 	urls   []string
 
 	mu        sync.Mutex
+	nodes     []*Node
 	servers   []*http.Server
 	listeners []net.Listener
+	serveDone []chan struct{}
 	killed    []bool
 }
 
@@ -41,10 +47,12 @@ func NewFleet(cfg Config) (*Fleet, error) {
 	f := &Fleet{
 		cfg:       cfg,
 		routes:    routes,
+		epoch:     time.Now(),
 		nodes:     make([]*Node, n),
 		urls:      make([]string, n),
 		servers:   make([]*http.Server, n),
 		listeners: make([]net.Listener, n),
+		serveDone: make([]chan struct{}, n),
 		killed:    make([]bool, n),
 	}
 	// Listeners first: every node needs the full URL manifest.
@@ -63,14 +71,25 @@ func NewFleet(cfg Config) (*Fleet, error) {
 			f.Close()
 			return nil, err
 		}
-		f.nodes[i] = nd
-		srv := &http.Server{Handler: nd.Handler()}
-		f.servers[i] = srv
-		go func(srv *http.Server, ln net.Listener) {
-			_ = srv.Serve(ln)
-		}(srv, f.listeners[i])
+		f.startNode(topology.NodeID(i), nd, f.listeners[i], false)
 	}
 	return f, nil
+}
+
+// startNode installs a node behind a listener and boots it. Callers either
+// own f exclusively (NewFleet) or hold f.mu (Restart).
+func (f *Fleet) startNode(i topology.NodeID, nd *Node, ln net.Listener, recovered bool) {
+	f.nodes[i] = nd
+	f.listeners[i] = ln
+	srv := &http.Server{Handler: nd.Handler()}
+	f.servers[i] = srv
+	done := make(chan struct{})
+	f.serveDone[i] = done
+	go func() {
+		_ = srv.Serve(ln)
+		close(done)
+	}()
+	nd.Start(f.epoch, recovered)
 }
 
 // NumNodes returns the fleet size.
@@ -83,7 +102,11 @@ func (f *Fleet) URLs() []string { return append([]string(nil), f.urls...) }
 func (f *Fleet) URL(i topology.NodeID) string { return f.urls[i] }
 
 // Node returns a fleet member for in-process inspection.
-func (f *Fleet) Node(i topology.NodeID) *Node { return f.nodes[i] }
+func (f *Fleet) Node(i topology.NodeID) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[i]
+}
 
 // Routes returns the shared routing table.
 func (f *Fleet) Routes() *routing.Table { return f.routes }
@@ -91,22 +114,65 @@ func (f *Fleet) Routes() *routing.Table { return f.routes }
 // Config returns the normalized fleet configuration.
 func (f *Fleet) Config() Config { return f.cfg }
 
-// Kill crashes a node: its listener closes and open connections are torn
-// down, so every subsequent request to it fails at the transport. The
-// node's memory (host, server, redirector) is retained — tests can still
-// inspect it — but, like a crashed process, it no longer participates.
+// Epoch returns the wall-clock zero of the fleet's virtual time.
+func (f *Fleet) Epoch() time.Time { return f.epoch }
+
+// Kill crashes a node: its listener closes, open connections are torn
+// down, and the node's goroutines (tickers, timers, client retries) are
+// reaped, so every subsequent request to it fails at the transport and
+// nothing of the node keeps running — the in-process equivalent of
+// SIGKILL. The node's memory (host, server, redirector) is retained for
+// test inspection.
 func (f *Fleet) Kill(i topology.NodeID) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.killed[i] {
+		f.mu.Unlock()
 		return nil
 	}
 	f.killed[i] = true
-	srv := f.servers[i]
+	srv, nd, done := f.servers[i], f.nodes[i], f.serveDone[i]
+	f.mu.Unlock()
+	if nd != nil {
+		nd.Stop()
+	}
 	if srv == nil {
 		return nil
 	}
-	return srv.Close()
+	err := srv.Close()
+	if done != nil {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("live: node %d server did not stop", i)
+		}
+	}
+	return err
+}
+
+// Restart brings a killed node back on its original address as a fresh
+// incarnation: cold state rebuilt from the configuration (the seed image a
+// real process reloads from disk), a new boot ID, and — in free-running
+// mode — re-registration of its held replicas with the fleet's
+// redirectors before the node reports ready.
+func (f *Fleet) Restart(i topology.NodeID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.killed[i] {
+		return fmt.Errorf("live: restarting node %d, which is not killed", i)
+	}
+	addr := f.listeners[i].Addr().String()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("live: relistening node %d on %s: %w", i, addr, err)
+	}
+	nd, err := NewNode(f.cfg, i, f.urls, f.routes)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	f.killed[i] = false
+	f.startNode(i, nd, ln, true)
+	return nil
 }
 
 // Killed reports whether a node has been killed.
@@ -116,14 +182,20 @@ func (f *Fleet) Killed(i topology.NodeID) bool {
 	return f.killed[i]
 }
 
-// Close tears the whole fleet down.
+// Close tears the whole fleet down, reaping every node's goroutines.
 func (f *Fleet) Close() {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	var wait []chan struct{}
 	for i, srv := range f.servers {
+		if f.nodes[i] != nil {
+			f.nodes[i].Stop()
+		}
 		if srv != nil && !f.killed[i] {
 			_ = srv.Close()
 			f.killed[i] = true
+			if f.serveDone[i] != nil {
+				wait = append(wait, f.serveDone[i])
+			}
 		}
 	}
 	for _, ln := range f.listeners {
@@ -131,18 +203,38 @@ func (f *Fleet) Close() {
 			_ = ln.Close() // idempotent; srv.Close already closed started ones
 		}
 	}
+	f.mu.Unlock()
+	for _, done := range wait {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+		}
+	}
 }
 
 // WaitHealthy polls every live node's health endpoint until it answers or
 // the deadline passes.
 func (f *Fleet) WaitHealthy(timeout time.Duration) error {
+	return f.wait(PathHealth, timeout)
+}
+
+// WaitReady polls every live node's readiness endpoint — the one that
+// requires the node to have booted (tickers running, recovery
+// re-registration done), which is what restart coordination must gate on.
+func (f *Fleet) WaitReady(timeout time.Duration) error {
+	return f.wait(PathReady, timeout)
+}
+
+func (f *Fleet) wait(path string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
 	for i, u := range f.urls {
 		if f.Killed(topology.NodeID(i)) {
 			continue
 		}
 		for {
-			res, err := http.Get(u + PathHealth)
+			res, err := client.Get(u + path)
 			if err == nil {
 				res.Body.Close()
 				if res.StatusCode == http.StatusOK {
@@ -150,7 +242,7 @@ func (f *Fleet) WaitHealthy(timeout time.Duration) error {
 				}
 			}
 			if time.Now().After(deadline) {
-				return fmt.Errorf("live: node %d not healthy after %v", i, timeout)
+				return fmt.Errorf("live: node %d not answering %s after %v", i, path, timeout)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}

@@ -1,0 +1,257 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"radar/internal/routing"
+	"radar/internal/sim"
+	"radar/internal/topology"
+	"radar/internal/workload"
+)
+
+// FreeDriver is the free-running mode's load generator: it only generates
+// load. One goroutine per gateway paces requests in real time (the
+// scenario's per-gateway rate, Poisson if configured), each request walks
+// redirector -> 302 -> replica host over real HTTP, and the nodes do
+// everything else on their own clocks. There is no event engine, no
+// virtual time on the wire that anyone trusts, and no sequence to compare
+// — correctness is asserted by the invariant checker (package live/check)
+// scraping the fleet, not by equality with the simulator.
+//
+// The driver records every failed request with its wall-clock time so the
+// checker can assert failures are confined to crash windows, and exposes
+// SetLatency as the chaos controller's client-hop delay injection point.
+type FreeDriver struct {
+	cfg     Config
+	urls    []string
+	n       int
+	redLocs []topology.NodeID
+	client  *http.Client
+
+	latency atomic.Int64
+	epoch   time.Time
+
+	genMu sync.Mutex
+	gen   workload.Generator
+
+	served   atomic.Int64
+	failed   atomic.Int64
+	timedOut atomic.Int64
+
+	failMu   sync.Mutex
+	failures []time.Time
+
+	ran bool
+}
+
+// freeDriverHTTPTimeout bounds each request end to end; a killed node
+// refuses instantly, so the limit only matters for a wedged one.
+const freeDriverHTTPTimeout = 5 * time.Second
+
+// NewFreeDriver builds a free-running load generator for a fleet reachable
+// at urls. The configuration must have FreeRunning set — pacing a
+// free-running fleet with the driver-paced Driver (or vice versa) would
+// silently mix time regimes.
+func NewFreeDriver(cfg Config, urls []string) (*FreeDriver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize()
+	if !cfg.FreeRunning {
+		return nil, fmt.Errorf("live: FreeDriver needs Config.FreeRunning (use Driver for driver-paced replay)")
+	}
+	routes := routing.New(cfg.Sim.Topo)
+	n := routes.NumNodes()
+	if len(urls) != n {
+		return nil, fmt.Errorf("live: %d node URLs for %d nodes", len(urls), n)
+	}
+	return &FreeDriver{
+		cfg:     cfg,
+		urls:    append([]string(nil), urls...),
+		n:       n,
+		redLocs: RedirectorLocations(routes, cfg.Sim.NumRedirectors),
+		client:  &http.Client{Timeout: freeDriverHTTPTimeout},
+		gen:     cfg.Sim.Workload,
+	}, nil
+}
+
+// SetLatency injects a fixed delay before every generated request — the
+// chaos controller's client-hop latency.
+func (d *FreeDriver) SetLatency(lat time.Duration) { d.latency.Store(int64(lat)) }
+
+// Run generates load for the given wall-clock duration (or until ctx is
+// cancelled) and returns the totals. Run must be called at most once.
+func (d *FreeDriver) Run(ctx context.Context, wall time.Duration) error {
+	if d.ran {
+		return fmt.Errorf("live: free driver already ran")
+	}
+	d.ran = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithTimeout(ctx, wall)
+	defer cancel()
+	d.epoch = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < d.n; i++ {
+		g := topology.NodeID(i)
+		rate := d.cfg.Sim.NodeRequestRPS
+		if d.cfg.Sim.NodeRates != nil {
+			rate = d.cfg.Sim.NodeRates[i]
+		}
+		if rate <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.generate(runCtx, g, rate)
+		}()
+	}
+	wg.Wait()
+	d.client.CloseIdleConnections()
+	return ctx.Err()
+}
+
+// generate paces one gateway's request stream in real time.
+func (d *FreeDriver) generate(ctx context.Context, g topology.NodeID, rate float64) {
+	rng := workload.Stream(d.cfg.Sim.Seed, uint64(g))
+	spacing := time.Duration(float64(time.Second) / rate)
+	// The same phase offset the simulator's generators use, mapped to
+	// wall time, so the fleet's gateways do not fire in lockstep.
+	timer := time.NewTimer(spacing * time.Duration(g) / time.Duration(d.n))
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		d.genMu.Lock()
+		id := d.gen.Next(g, rng)
+		d.genMu.Unlock()
+		d.request(ctx, g, int64(id))
+		next := spacing
+		if d.cfg.Sim.PoissonArrivals {
+			next = time.Duration(rng.ExpFloat64() * float64(spacing))
+			if next <= 0 {
+				next = time.Nanosecond
+			}
+		}
+		timer.Reset(next)
+	}
+}
+
+// request walks one object request end to end: redirector, 302, replica
+// host (the HTTP client follows the redirect). 200 served, the
+// client-timeout refusal is recorded as timed out, anything else — a
+// refused connection, a 404 from a replica-less redirector, a malformed
+// answer — is a failed request stamped with wall-clock time for the
+// checker's crash-window confinement rule.
+func (d *FreeDriver) request(ctx context.Context, g topology.NodeID, id int64) {
+	if lat := time.Duration(d.latency.Load()); lat > 0 {
+		t := time.NewTimer(lat)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+	loc := d.redLocs[int(id)%len(d.redLocs)]
+	now := time.Since(d.epoch)
+	u := fmt.Sprintf("%s%s%d?g=%d&now=%d", d.urls[loc], PathObj, id, int(g), int64(now))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		d.noteFailure()
+		return
+	}
+	res, err := d.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutdown, not a protocol failure
+		}
+		d.noteFailure()
+		return
+	}
+	_, _ = io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	switch {
+	case res.StatusCode == http.StatusOK:
+		d.served.Add(1)
+	case res.StatusCode == http.StatusServiceUnavailable && res.Header.Get(HeaderTimeout) != "":
+		d.timedOut.Add(1)
+	default:
+		d.noteFailure()
+	}
+}
+
+func (d *FreeDriver) noteFailure() {
+	d.failed.Add(1)
+	d.failMu.Lock()
+	d.failures = append(d.failures, time.Now())
+	d.failMu.Unlock()
+}
+
+// Served, Failed, and TimedOut return the request totals so far.
+func (d *FreeDriver) Served() int64   { return d.served.Load() }
+func (d *FreeDriver) Failed() int64   { return d.failed.Load() }
+func (d *FreeDriver) TimedOut() int64 { return d.timedOut.Load() }
+
+// Failures returns the wall-clock times of every failed request.
+func (d *FreeDriver) Failures() []time.Time {
+	d.failMu.Lock()
+	defer d.failMu.Unlock()
+	return append([]time.Time(nil), d.failures...)
+}
+
+// Results assembles the free run's totals in the simulator's results
+// schema. Free-running mode has no virtual-time metrics pipeline — the
+// series and network accounting stay empty; the counters and the census
+// are real.
+func (d *FreeDriver) Results(fleetCensus float64) *sim.Results {
+	return &sim.Results{
+		WorkloadName:     d.cfg.Sim.Workload.Name(),
+		Policy:           d.cfg.Sim.Policy,
+		Dynamic:          d.cfg.Sim.DynamicPlacement,
+		Duration:         d.cfg.Sim.Duration,
+		Seed:             d.cfg.Sim.Seed,
+		TotalServed:      d.served.Load(),
+		FailedRequests:   d.failed.Load(),
+		TimedOutRequests: d.timedOut.Load(),
+		AvgReplicas:      fleetCensus,
+		HighWatermark:    d.cfg.Sim.Protocol.HighWatermark,
+		StoreSpec:        d.cfg.Sim.Store.String(),
+	}
+}
+
+// Census scrapes the fleet's redirectors once and returns the mean replica
+// count per object (the driver-paced finalCensus analog) — used to fill
+// Results and by callers wanting a quick fleet health read.
+func (d *FreeDriver) Census() float64 {
+	total := 0
+	client := &http.Client{Timeout: freeDriverHTTPTimeout}
+	defer client.CloseIdleConnections()
+	for _, loc := range d.redLocs {
+		res, err := client.Get(d.urls[loc] + PathCensus)
+		if err != nil {
+			continue
+		}
+		data, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil || res.StatusCode != http.StatusOK {
+			continue
+		}
+		var rep CensusReply
+		if Decode(data, &rep) == nil {
+			total += rep.TotalReplicas
+		}
+	}
+	return float64(total) / float64(d.cfg.Sim.Universe.Count)
+}

@@ -21,6 +21,7 @@ func FuzzLiveRPC(f *testing.F) {
 	f.Add(Encode(&TickMsg{Now: 1000}))
 	f.Add(Encode(&CompleteMsg{Object: 6, Gateway: 2, Now: 5}))
 	f.Add(Encode(&MarkMsg{Host: 3, Down: true}))
+	f.Add(Encode(&PeersMsg{Peer: 2, URL: "poison://partition"}))
 	f.Add(Encode(&EventsReply{Events: []Event{
 		{At: 1, Kind: EventMigrate, Object: 2, From: 0, To: 1, Move: "geo"},
 		{At: 2, Kind: EventRefuse, Object: 3, From: 1, To: 2, Method: "MIGRATE"},
@@ -35,7 +36,7 @@ func FuzzLiveRPC(f *testing.F) {
 			&CreateObjMsg{}, &CreateObjReply{}, &NotifyMsg{}, &DropMsg{},
 			&DropReply{}, &LoadReply{}, &ReplicasReply{}, &TickMsg{},
 			&PlaceReply{}, &MeasureReply{}, &CompleteMsg{}, &CensusReply{},
-			&MarkMsg{}, &Event{}, &EventsReply{}, &StatsReply{},
+			&MarkMsg{}, &PeersMsg{}, &Event{}, &EventsReply{}, &StatsReply{},
 		}
 		for _, msg := range msgs {
 			err := Decode(data, msg)

@@ -1,15 +1,23 @@
 // Package livetest is the in-process integration harness for live mode:
 // it stands up a loopback Fleet, waits for every node's health endpoint,
-// and wires a Driver to it, so a test (or radar-load's default mode) can
+// and wires a driver to it, so a test (or radar-load's default mode) can
 // replay a workload against real HTTP servers in a few lines. Kill
 // crashes a node mid-replay the way the failover tests need: the
 // listener closes AND the driver marks the node down, mirroring what an
 // external health check would conclude.
+//
+// Every Start-ed harness also registers a goroutine-leak check: after the
+// fleet is torn down, no goroutine of the live stack (nodes, servers,
+// HTTP keep-alives) may survive. Kill and Close reap node goroutines by
+// contract; this is the assertion that keeps that contract honest.
 package livetest
 
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -23,35 +31,45 @@ import (
 const HealthTimeout = 10 * time.Second
 
 // Harness couples a loopback fleet with the driver that replays a
-// workload against it.
+// workload against it. Exactly one of Driver (driver-paced) and Free
+// (free-running) is non-nil, keyed by Config.FreeRunning.
 type Harness struct {
 	Fleet  *live.Fleet
 	Driver *live.Driver
+	Free   *live.FreeDriver
 }
 
-// New builds a fleet for cfg, waits for it to become healthy, and
-// attaches a driver. The caller owns Close.
+// New builds a fleet for cfg, waits for it to become ready, and attaches
+// the mode's driver. The caller owns Close.
 func New(cfg live.Config) (*Harness, error) {
 	f, err := live.NewFleet(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.WaitHealthy(HealthTimeout); err != nil {
+	if err := f.WaitReady(HealthTimeout); err != nil {
 		f.Close()
 		return nil, err
 	}
-	d, err := live.NewDriver(f.Config(), f.URLs())
+	h := &Harness{Fleet: f}
+	if cfg.FreeRunning {
+		h.Free, err = live.NewFreeDriver(f.Config(), f.URLs())
+	} else {
+		h.Driver, err = live.NewDriver(f.Config(), f.URLs())
+	}
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Harness{Fleet: f, Driver: d}, nil
+	return h, nil
 }
 
-// Start is New for tests: failures become t.Fatal and the fleet is torn
-// down by t.Cleanup.
+// Start is New for tests: failures become t.Fatal, the fleet is torn down
+// by t.Cleanup, and a goroutine-leak check runs after teardown.
 func Start(t *testing.T, cfg live.Config) *Harness {
 	t.Helper()
+	// Registered before the Close cleanup: cleanups run LIFO, so the
+	// check observes the world after the fleet is gone.
+	CheckGoroutines(t)
 	h, err := New(cfg)
 	if err != nil {
 		t.Fatalf("livetest: starting fleet: %v", err)
@@ -60,21 +78,97 @@ func Start(t *testing.T, cfg live.Config) *Harness {
 	return h
 }
 
-// Close tears the fleet down.
-func (h *Harness) Close() { h.Fleet.Close() }
+// Close tears the fleet down and releases the driver's connections.
+func (h *Harness) Close() {
+	if h.Driver != nil {
+		h.Driver.Close()
+	}
+	h.Fleet.Close()
+}
 
 // Kill crashes node i mid-replay: the node's listener closes and the
-// driver marks it down, so subsequent redirects route around it.
+// driver (in driver-paced mode) marks it down, so subsequent redirects
+// route around it. Free-running fleets spread the mark via the chaos
+// controller instead.
 func (h *Harness) Kill(i topology.NodeID) error {
 	if err := h.Fleet.Kill(i); err != nil {
 		return fmt.Errorf("livetest: killing node %d: %w", i, err)
 	}
-	h.Driver.MarkDown(i)
+	if h.Driver != nil {
+		h.Driver.MarkDown(i)
+	}
 	return nil
 }
 
 // Run replays the configured workload against the fleet and returns the
-// run's results in the simulator's schema.
+// run's results in the simulator's schema (driver-paced harnesses only;
+// free-running tests drive h.Free directly).
 func (h *Harness) Run(ctx context.Context) (*sim.Results, error) {
 	return h.Driver.Run(ctx)
+}
+
+// leakSettleTimeout is how long CheckGoroutines waits for straggler
+// goroutines (closing HTTP conns, exiting tickers) to drain before
+// declaring them leaked.
+const leakSettleTimeout = 3 * time.Second
+
+// leakPatterns mark a goroutine as belonging to the live stack: node and
+// driver code, the fleet's HTTP servers, and client keep-alive loops.
+var leakPatterns = []string{
+	"radar/internal/live.",
+	"net/http.(*Server).Serve",
+	"net/http.(*conn).serve",
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+}
+
+// CheckGoroutines registers a cleanup that fails the test if any live
+// stack goroutine survives teardown. Register it before the harness (or
+// any other cleanup that owns live goroutines) so it runs last.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		// Keep-alive conns owned by the default transport (stray test
+		// clients) die here, not in the retry loop, so a parked readLoop
+		// is not misread as a leak.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(leakSettleTimeout)
+		var leaked []string
+		for {
+			leaked = liveGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("livetest: %d live-stack goroutines leaked after fleet teardown:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// liveGoroutines returns the stacks of goroutines still inside the live
+// stack, excluding the caller's own.
+func liveGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	var leaked []string
+	for i, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if i == 0 {
+			continue // the first stack is this goroutine
+		}
+		for _, pat := range leakPatterns {
+			if strings.Contains(g, pat) {
+				leaked = append(leaked, g)
+				break
+			}
+		}
+	}
+	return leaked
 }

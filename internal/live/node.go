@@ -23,23 +23,37 @@ import (
 // Node is one live fleet member: a protocol.Host and its FCFS server
 // behind the HTTP control plane, plus — when this node is one of the
 // fleet's redirector locations — a protocol.Redirector answering object
-// requests with 302s. Nodes are clock-less: every mutating endpoint
+// requests with 302s.
+//
+// In driver-paced mode nodes are clock-less: every mutating endpoint
 // carries an explicit virtual timestamp, so a driver pacing the fleet
 // through the simulator's event schedule reproduces the simulation's
-// decision sequence exactly (DESIGN.md §4.8).
+// decision sequence exactly (DESIGN.md §4.8). In free-running mode
+// (Config.FreeRunning) the node owns its clock — virtual time is wall time
+// since Start — and runs its own jittered measurement/placement/census
+// tickers; wire timestamps on incoming requests are ignored for the node's
+// own state (DESIGN.md §4.9).
 //
 // Locking: mu guards the host, server, and event log; redMu guards the
-// redirector and the peer-reachability view. The only permitted nesting is
-// mu -> redMu (a placement pass notifying its own co-located redirector).
-// Handlers that issue outgoing RPCs while holding mu rely on the driven
-// operating model: the driver serializes control operations fleet-wide, so
-// no two nodes run placement concurrently and cross-node lock cycles
-// cannot form.
+// redirector and the peer-reachability view; peerMu guards the mutable
+// peer URL table (chaos partitions poison it). The only permitted nesting
+// is mu -> redMu (a placement pass notifying its own co-located
+// redirector). Handlers that issue outgoing RPCs while holding mu rely on
+// the driven operating model in driver-paced mode: the driver serializes
+// control operations fleet-wide, so no two nodes run placement
+// concurrently and cross-node lock cycles cannot form. In free-running
+// mode placement passes on different nodes do overlap, so the peer-called
+// handlers (CreateObj, load queries) take mu with a bounded try-lock and
+// answer busy (503) on timeout — the caller's jittered backoff retry
+// breaks the symmetry that a blocking lock would deadlock on.
 type Node struct {
-	id    topology.NodeID
-	cfg   Config
-	peers []string // base URL per node ID
-	n     int      // fleet size
+	id      topology.NodeID
+	cfg     Config
+	n       int  // fleet size
+	freeRun bool // cfg.FreeRunning
+	bootID  int64
+
+	manifest []string // immutable base URL per node ID (client 302s)
 
 	routes  *routing.Table
 	client  *rpcClient
@@ -50,6 +64,23 @@ type Node struct {
 	drops   *callDedup // RequestDrop verdict cache
 
 	nextMsg uint64 // atomic; message IDs are id<<40 | seq
+
+	epoch    time.Time // wall-clock zero of virtual time (Start)
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	tickWG   sync.WaitGroup
+	ready    atomic.Bool
+	stopped  atomic.Bool
+
+	measureTicks atomic.Int64
+	placeTicks   atomic.Int64
+	censusTicks  atomic.Int64
+
+	peerMu sync.RWMutex
+	peers  []string // mutable control-plane URL per node ID
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{} // pending self-scheduled completions
 
 	mu     sync.Mutex
 	host   *protocol.Host
@@ -62,6 +93,17 @@ type Node struct {
 	downPeers  []bool
 	filtering  bool // reachability filter installed (first mark-down arms it)
 }
+
+// bootCounter allocates process-unique boot IDs; a restarted node gets a
+// fresh incarnation number.
+var bootCounter int64
+
+// busyDeadline bounds how long a free-running peer handler waits for the
+// node lock before answering busy; busyPoll is its retry spacing.
+const (
+	busyDeadline = 250 * time.Millisecond
+	busyPoll     = 2 * time.Millisecond
+)
 
 // dropDedupLimit bounds concurrent RequestDrop executions; drops are cheap
 // map operations, the gate exists only to reuse the verdict-replay
@@ -93,16 +135,21 @@ func NewNode(cfg Config, id topology.NodeID, peers []string, routes *routing.Tab
 		return nil, err
 	}
 	nd := &Node{
-		id:      id,
-		cfg:     cfg,
-		peers:   append([]string(nil), peers...),
-		n:       n,
-		routes:  routes,
-		client:  newRPCClient(cfg.RPC, workload.Stream(cfg.Sim.Seed, (1<<33)|uint64(id))),
-		payload: bytes.Repeat([]byte{0x5a}, cfg.Sim.Universe.SizeBytes),
-		creates: newCallDedup(cfg.MaxInflightCreates),
-		drops:   newCallDedup(dropDedupLimit),
-		srv:     srv,
+		id:       id,
+		cfg:      cfg,
+		peers:    append([]string(nil), peers...),
+		manifest: append([]string(nil), peers...),
+		n:        n,
+		freeRun:  cfg.FreeRunning,
+		bootID:   atomic.AddInt64(&bootCounter, 1),
+		routes:   routes,
+		client:   newRPCClient(cfg.RPC, workload.Stream(cfg.Sim.Seed, (1<<33)|uint64(id)), cfg.RetryBudget),
+		payload:  bytes.Repeat([]byte{0x5a}, cfg.Sim.Universe.SizeBytes),
+		creates:  newCallDedup(cfg.MaxInflightCreates),
+		drops:    newCallDedup(dropDedupLimit),
+		srv:      srv,
+		stopCh:   make(chan struct{}),
+		timers:   make(map[*time.Timer]struct{}),
 	}
 	nd.redLocs = RedirectorLocations(routes, cfg.Sim.NumRedirectors)
 	nd.downPeers = make([]bool, n)
@@ -173,6 +220,192 @@ func (nd *Node) Handler() http.Handler { return nd.mux }
 // caller must not race it against live traffic.
 func (nd *Node) Host() *protocol.Host { return nd.host }
 
+// BootID returns the node's incarnation number.
+func (nd *Node) BootID() int64 { return nd.bootID }
+
+// ---- Lifecycle ------------------------------------------------------------
+
+// Start begins the node's life at the given wall-clock epoch (virtual time
+// zero). In driver-paced mode it only marks the node ready; in free-running
+// mode it launches the measurement, placement, and census tickers, and —
+// when recovered is set (a restart after a crash) — first re-registers
+// every held replica with its object's redirector, the live analog of the
+// simulator's HostUp re-registration.
+func (nd *Node) Start(epoch time.Time, recovered bool) {
+	nd.epoch = epoch
+	if nd.freeRun {
+		if recovered {
+			nd.reRegister()
+		}
+		nd.startTickers()
+	}
+	nd.ready.Store(true)
+}
+
+// Stop halts the node: tickers exit, pending self-scheduled completions
+// are cancelled, and the RPC client aborts in-flight calls and backoff
+// waits so a dying node never sits out a retry schedule. Stop is
+// idempotent and safe against a node never started.
+func (nd *Node) Stop() {
+	nd.stopOnce.Do(func() {
+		nd.stopped.Store(true)
+		nd.ready.Store(false)
+		close(nd.stopCh)
+		nd.client.Close()
+		nd.timerMu.Lock()
+		for t := range nd.timers {
+			t.Stop()
+		}
+		nd.timers = make(map[*time.Timer]struct{})
+		nd.timerMu.Unlock()
+		nd.tickWG.Wait()
+	})
+}
+
+// vnow is the node's own virtual clock: wall time since Start.
+func (nd *Node) vnow() time.Duration { return time.Since(nd.epoch) }
+
+// resolveNow maps a wire timestamp to the time a handler should act at:
+// the wire value in driver-paced mode (the driver owns time), the node's
+// own clock in free-running mode (peers' clocks are never trusted for
+// local state).
+func (nd *Node) resolveNow(wire int64) time.Duration {
+	if nd.freeRun {
+		return nd.vnow()
+	}
+	return time.Duration(wire)
+}
+
+// lockMu takes the node lock for a peer-called handler. Driver-paced mode
+// blocks (the driver's serialization guarantees no cross-node cycle);
+// free-running mode bounds the wait and reports failure, because two
+// overlapping placement passes hold their own node's lock while calling
+// into each other — the busy answer plus the caller's jittered backoff is
+// what breaks that symmetry.
+func (nd *Node) lockMu() bool {
+	if !nd.freeRun {
+		nd.mu.Lock()
+		return true
+	}
+	deadline := time.Now().Add(busyDeadline)
+	for {
+		if nd.mu.TryLock() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(busyPoll)
+	}
+}
+
+// peerURL reads the (poisonable) control-plane URL of a peer.
+func (nd *Node) peerURL(p topology.NodeID) string {
+	nd.peerMu.RLock()
+	defer nd.peerMu.RUnlock()
+	return nd.peers[p]
+}
+
+// reRegister announces every replica this node holds to its object's
+// redirector. A recovering node's holdings are its seed image (the
+// process restarted from its on-disk state); the redirectors purged its
+// records when the crash was marked, so re-registration is what makes the
+// replicas choosable again.
+func (nd *Node) reRegister() {
+	nd.mu.Lock()
+	objs := nd.host.Objects()
+	affs := make([]int, len(objs))
+	for i, id := range objs {
+		affs[i] = nd.host.Affinity(id)
+	}
+	nd.mu.Unlock()
+	for i, id := range objs {
+		nd.redirectorFor(id).NotifyReplicaChange(id, nd.id, affs[i])
+	}
+}
+
+// ---- Free-running tickers -------------------------------------------------
+
+// startTickers launches the node's self-scheduled control loops.
+func (nd *Node) startTickers() {
+	nd.ticker(nd.cfg.FreeRun.Measurement, 1, &nd.measureTicks, nd.measureTick)
+	if nd.cfg.Sim.DynamicPlacement {
+		nd.ticker(nd.cfg.FreeRun.Placement, 2, &nd.placeTicks, nd.placeTick)
+	}
+	if nd.redirector != nil {
+		nd.ticker(nd.cfg.FreeRun.Census, 3, &nd.censusTicks, nd.censusTick)
+	}
+}
+
+// ticker runs fn every jittered period until Stop. Each ticker draws its
+// jitter from its own seeded stream, so runs are reproducible modulo
+// scheduling.
+func (nd *Node) ticker(period time.Duration, stream uint64, count *atomic.Int64, fn func(now time.Duration)) {
+	if period <= 0 {
+		return
+	}
+	rng := workload.Stream(nd.cfg.Sim.Seed, (1<<34)|stream<<20|uint64(nd.id))
+	jitter := nd.cfg.FreeRun.Jitter
+	nd.tickWG.Add(1)
+	go func() {
+		defer nd.tickWG.Done()
+		for {
+			d := period
+			if jitter > 0 {
+				d = time.Duration(float64(period) * (1 + jitter*(2*rng.Float64()-1)))
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-nd.stopCh:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			fn(nd.vnow())
+			count.Add(1)
+		}
+	}()
+}
+
+// measureTick closes one load-measurement interval on the node's own
+// clock.
+func (nd *Node) measureTick(now time.Duration) {
+	nd.mu.Lock()
+	start := nd.srv.CloseInterval(now)
+	nd.host.OnMeasurementIntervalClose(start)
+	nd.mu.Unlock()
+}
+
+// placeTick runs one self-scheduled placement pass. The pass holds mu
+// while issuing peer RPCs — the free-running deadlock hazard that the
+// peers' bounded try-lock answers (see lockMu).
+func (nd *Node) placeTick(now time.Duration) {
+	nd.mu.Lock()
+	nd.host.DecidePlacement(now)
+	nd.mu.Unlock()
+}
+
+// censusTick audits the co-located redirector's records; the scrape
+// endpoints serve the same computation on demand, so the ticker's product
+// is liveness (the counter the readiness checks and the invariant checker
+// watch).
+func (nd *Node) censusTick(time.Duration) {
+	_ = nd.census()
+}
+
+// maxEventLog bounds the free-running event log: nothing drains it
+// continuously (the driver does in driver-paced mode), so it keeps only
+// the most recent entries.
+const maxEventLog = 4096
+
+// capEvents halves the event log when it outgrows the free-running bound.
+// Callers hold mu.
+func (nd *Node) capEvents() {
+	if nd.freeRun && len(nd.events) > maxEventLog {
+		nd.events = append(nd.events[:0:0], nd.events[len(nd.events)-maxEventLog/2:]...)
+	}
+}
+
 // nextMsgID allocates a fleet-unique message ID: node ID in the high bits,
 // a per-node counter in the low 40.
 func (nd *Node) nextMsgID() uint64 {
@@ -181,7 +414,10 @@ func (nd *Node) nextMsgID() uint64 {
 
 // event appends to the node's event log. Callers hold mu (the log is
 // drained under mu by /ctl/place and /ctl/events).
-func (nd *Node) event(e Event) { nd.events = append(nd.events, e) }
+func (nd *Node) event(e Event) {
+	nd.events = append(nd.events, e)
+	nd.capEvents()
+}
 
 // drainEvents returns and clears the event log. Callers hold mu.
 func (nd *Node) drainEvents() []Event {
@@ -282,7 +518,7 @@ func (nd *Node) fetchLoad(p topology.NodeID, obj object.ID, now time.Duration) (
 		q.Set("now", strconv.FormatInt(int64(now), 10))
 	}
 	var rep LoadReply
-	if err := nd.client.get(nd.peers[p], PathLoad, q, &rep); err != nil {
+	if err := nd.client.get(nd.peerURL(p), PathLoad, q, &rep); err != nil {
 		return LoadReply{}, err
 	}
 	return rep, nil
@@ -304,7 +540,7 @@ func (nd *Node) copyObject(now time.Duration, from, to topology.NodeID, id objec
 
 // fetchBytes GETs an object's bytes from a peer's /fetch endpoint.
 func (nd *Node) fetchBytes(from topology.NodeID, id object.ID) error {
-	u := nd.peers[from] + PathFetch + strconv.FormatInt(int64(id), 10)
+	u := nd.peerURL(from) + PathFetch + strconv.FormatInt(int64(id), 10)
 	res, err := http.Get(u)
 	if err != nil {
 		return err
@@ -345,7 +581,7 @@ func (nd *Node) sendCreateObj(now time.Duration, req protocol.CreateObjRequest, 
 		Now:      int64(now),
 	}
 	var rep CreateObjReply
-	if err := nd.client.call(nd.peers[req.To], PathCreateObj, &msg, &rep); err != nil {
+	if err := nd.client.call(nd.peerURL(req.To), PathCreateObj, &msg, &rep); err != nil {
 		return protocol.CreateLost, msgID, now
 	}
 	if rep.Accepted {
@@ -442,13 +678,13 @@ type remoteRedirector struct {
 
 func (r *remoteRedirector) NotifyReplicaChange(id object.ID, host topology.NodeID, aff int) {
 	msg := NotifyMsg{MsgID: r.nd.nextMsgID(), Object: int64(id), Host: int(host), Aff: aff}
-	_ = r.nd.client.call(r.nd.peers[r.loc], PathNotify, &msg, nil)
+	_ = r.nd.client.call(r.nd.peerURL(r.loc), PathNotify, &msg, nil)
 }
 
 func (r *remoteRedirector) RequestDrop(id object.ID, host topology.NodeID) bool {
 	msg := DropMsg{MsgID: r.nd.nextMsgID(), Object: int64(id), Host: int(host)}
 	var rep DropReply
-	if err := r.nd.client.call(r.nd.peers[r.loc], PathRequestDrop, &msg, &rep); err != nil {
+	if err := r.nd.client.call(r.nd.peerURL(r.loc), PathRequestDrop, &msg, &rep); err != nil {
 		return false
 	}
 	return rep.Approved
@@ -481,7 +717,7 @@ func (r *remoteRedirector) fetchReplicas(id object.ID, hosts bool) (ReplicasRepl
 		q.Set("hosts", "1")
 	}
 	var rep ReplicasReply
-	if err := r.nd.client.get(r.nd.peers[r.loc], PathReplicas, q, &rep); err != nil {
+	if err := r.nd.client.get(r.nd.peerURL(r.loc), PathReplicas, q, &rep); err != nil {
 		return ReplicasReply{}, err
 	}
 	return rep, nil
@@ -495,6 +731,15 @@ func (nd *Node) buildMux() {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
 	})
+	mux.HandleFunc(PathReady, func(w http.ResponseWriter, _ *http.Request) {
+		if !nd.ready.Load() {
+			http.Error(w, "live: node not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready"))
+	})
+	mux.HandleFunc(PathPeers, nd.handlePeers)
 	mux.HandleFunc(PathCreateObj, nd.handleCreateObj)
 	mux.HandleFunc(PathNotify, nd.handleNotify)
 	mux.HandleFunc(PathRequestDrop, nd.handleRequestDrop)
@@ -542,14 +787,23 @@ func (nd *Node) handleCreateObj(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	method, _ := ParseMethod(msg.Method) // validated by Decode
-	reply := nd.creates.do(msg.MsgID, func() []byte {
-		nd.mu.Lock()
+	reply, ok := nd.creates.do(msg.MsgID, func() ([]byte, bool) {
+		if !nd.lockMu() {
+			return nil, false
+		}
 		id := object.ID(msg.Object)
 		hadBefore := nd.host.Has(id)
-		accepted := nd.host.CreateObj(time.Duration(msg.Now), method, id, msg.UnitLoad, msg.SrcAff, topology.NodeID(msg.From))
+		accepted := nd.host.CreateObj(nd.resolveNow(msg.Now), method, id, msg.UnitLoad, msg.SrcAff, topology.NodeID(msg.From))
 		nd.mu.Unlock()
-		return Encode(CreateObjReply{MsgID: msg.MsgID, Accepted: accepted, Copied: accepted && !hadBefore})
+		return Encode(CreateObjReply{MsgID: msg.MsgID, Accepted: accepted, Copied: accepted && !hadBefore}), true
 	})
+	if !ok {
+		// The node lock stayed busy past the deadline (an overlapping
+		// placement pass): nothing executed, nothing is cached — the
+		// caller's retry re-runs the handshake under the same message ID.
+		http.Error(w, "live: node busy", http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(reply)
 }
@@ -583,11 +837,11 @@ func (nd *Node) handleRequestDrop(w http.ResponseWriter, r *http.Request) {
 	// Drop arbitration is not naturally idempotent (an approved drop
 	// removes the record, so a replayed request would read "no replica"),
 	// hence the verdict cache.
-	reply := nd.drops.do(msg.MsgID, func() []byte {
+	reply, _ := nd.drops.do(msg.MsgID, func() ([]byte, bool) {
 		nd.redMu.Lock()
 		ok := nd.redirector.RequestDrop(object.ID(msg.Object), topology.NodeID(msg.Host))
 		nd.redMu.Unlock()
-		return Encode(DropReply{MsgID: msg.MsgID, Approved: ok})
+		return Encode(DropReply{MsgID: msg.MsgID, Approved: ok}), true
 	})
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(reply)
@@ -595,7 +849,10 @@ func (nd *Node) handleRequestDrop(w http.ResponseWriter, r *http.Request) {
 
 func (nd *Node) handleLoad(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	nd.mu.Lock()
+	if !nd.lockMu() {
+		http.Error(w, "live: node busy", http.StatusServiceUnavailable)
+		return
+	}
 	p := nd.host.Params()
 	rep := LoadReply{
 		AcceptLoad: nd.host.Estimator().LoadForAccept(nd.srv.Load()),
@@ -611,7 +868,7 @@ func (nd *Node) handleLoad(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rep.Has = nd.host.Has(object.ID(obj))
-		rep.Halted = nd.host.AcquisitionHalted(time.Duration(now))
+		rep.Halted = nd.host.AcquisitionHalted(nd.resolveNow(now))
 	}
 	nd.mu.Unlock()
 	writeJSON(w, rep)
@@ -663,11 +920,12 @@ func objQuery(r *http.Request, prefix string, n int) (object.ID, topology.NodeID
 // redirector->host control hop) in the response headers. now is the
 // request's virtual arrival time at the redirector.
 func (nd *Node) handleObj(w http.ResponseWriter, r *http.Request) {
-	id, g, now, err := objQuery(r, PathObj, nd.n)
+	id, g, wireNow, err := objQuery(r, PathObj, nd.n)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	now := nd.resolveNow(int64(wireNow))
 	if nd.redirector == nil || nd.redirectorLoc(id) != nd.id {
 		http.Error(w, "live: wrong redirector for object", http.StatusBadRequest)
 		return
@@ -686,7 +944,9 @@ func (nd *Node) handleObj(w http.ResponseWriter, r *http.Request) {
 	arrive := now + time.Duration(nd.routes.Distance(nd.id, h))*nd.cfg.Sim.Net.HopDelay
 	w.Header().Set(HeaderHost, strconv.Itoa(int(h)))
 	w.Header().Set(HeaderArrive, strconv.FormatInt(int64(arrive), 10))
-	u := fmt.Sprintf("%s%s%d?g=%d&now=%d", nd.peers[h], PathServe, int64(id), int(g), int64(arrive))
+	// The 302 always targets the manifest URL: chaos partitions poison the
+	// control-plane peer table, not the client-facing data plane.
+	u := fmt.Sprintf("%s%s%d?g=%d&now=%d", nd.manifest[h], PathServe, int64(id), int(g), int64(arrive))
 	http.Redirect(w, r, u, http.StatusFound)
 }
 
@@ -697,11 +957,12 @@ func (nd *Node) handleObj(w http.ResponseWriter, r *http.Request) {
 // measurement and access counts record the serviced request — exactly the
 // simulator's two-phase arrival/completion split.
 func (nd *Node) handleServe(w http.ResponseWriter, r *http.Request) {
-	_, _, now, err := objQuery(r, PathServe, nd.n)
+	id, g, wireNow, err := objQuery(r, PathServe, nd.n)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	now := nd.resolveNow(int64(wireNow))
 	nd.mu.Lock()
 	if t := nd.cfg.Sim.ClientTimeout; t > 0 && nd.srv.QueueDelay(now) > t {
 		nd.mu.Unlock()
@@ -711,9 +972,45 @@ func (nd *Node) handleServe(w http.ResponseWriter, r *http.Request) {
 	}
 	done := nd.srv.Enqueue(now, 0)
 	nd.mu.Unlock()
+	if nd.freeRun {
+		// No driver reports completions in free-running mode: the node
+		// schedules its own, firing when its clock reaches the FCFS
+		// service completion time.
+		nd.scheduleCompletion(id, g, done)
+	}
 	w.Header().Set(HeaderDone, strconv.FormatInt(int64(done), 10))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(nd.payload)
+}
+
+// scheduleCompletion arms a timer that records the serviced request
+// (access counts, load measurement) when virtual time reaches done —
+// the self-scheduled analog of the driver's /ctl/complete report.
+func (nd *Node) scheduleCompletion(id object.ID, g topology.NodeID, done time.Duration) {
+	delay := done - nd.vnow()
+	if delay < 0 {
+		delay = 0
+	}
+	nd.timerMu.Lock()
+	if nd.stopped.Load() {
+		nd.timerMu.Unlock()
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(delay, func() {
+		nd.timerMu.Lock()
+		delete(nd.timers, t)
+		nd.timerMu.Unlock()
+		if nd.stopped.Load() {
+			return
+		}
+		nd.mu.Lock()
+		nd.srv.OnServed(id)
+		nd.host.OnRequest(id, g)
+		nd.mu.Unlock()
+	})
+	nd.timers[t] = struct{}{}
+	nd.timerMu.Unlock()
 }
 
 func (nd *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
@@ -768,6 +1065,13 @@ func (nd *Node) handleCensus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "live: node hosts no redirector", http.StatusBadRequest)
 		return
 	}
+	writeJSON(w, nd.census())
+}
+
+// census computes the co-located redirector's replica census: totals,
+// floor deficits, and the per-object extremes the invariant checker
+// asserts bounds on.
+func (nd *Node) census() CensusReply {
 	var rep CensusReply
 	floor := nd.cfg.Sim.Protocol.ReplicaFloor
 	nd.redMu.Lock()
@@ -777,14 +1081,23 @@ func (nd *Node) handleCensus(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		c := nd.redirector.ReplicaCount(id)
+		if rep.Objects == 0 || c < rep.MinReplicas {
+			rep.MinReplicas = c
+		}
+		if c > rep.MaxReplicas {
+			rep.MaxReplicas = c
+		}
 		rep.Objects++
 		rep.TotalReplicas += c
 		if floor > 1 && c < floor {
 			rep.BelowFloor++
 		}
+		if c == 0 {
+			rep.Zero++
+		}
 	}
 	nd.redMu.Unlock()
-	writeJSON(w, rep)
+	return rep
 }
 
 func (nd *Node) handleMark(w http.ResponseWriter, r *http.Request) {
@@ -807,7 +1120,33 @@ func (nd *Node) handleMark(w http.ResponseWriter, r *http.Request) {
 		down := nd.downPeers
 		nd.redirector.SetReachable(func(h topology.NodeID) bool { return !down[h] })
 	}
+	if msg.Down && nd.freeRun && nd.redirector != nil {
+		// Free-running mode applies the simulator's crash semantics in
+		// full: the dead host's records are purged, so replica counts drop
+		// below the floor and the placement passes' repair machinery — not
+		// just the reachability filter — restores them. The recovering node
+		// re-registers its holdings on Start (reRegister). Driver-paced
+		// mode keeps filter-only marks: the equivalence and failover suites
+		// pin that behavior.
+		nd.redirector.PurgeHost(topology.NodeID(msg.Host))
+	}
 	nd.redMu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+// handlePeers rewrites one peer URL table entry (chaos partitions).
+func (nd *Node) handlePeers(w http.ResponseWriter, r *http.Request) {
+	var msg PeersMsg
+	if !readBody(w, r, &msg) {
+		return
+	}
+	if msg.Peer >= nd.n {
+		http.Error(w, fmt.Sprintf("live: peer %d outside fleet of %d", msg.Peer, nd.n), http.StatusBadRequest)
+		return
+	}
+	nd.peerMu.Lock()
+	nd.peers[msg.Peer] = msg.URL
+	nd.peerMu.Unlock()
 	writeJSON(w, struct{}{})
 }
 
@@ -819,6 +1158,7 @@ func (nd *Node) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (nd *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	attempts, retries, lost := nd.client.Stats()
 	nd.mu.Lock()
 	rep := StatsReply{
 		Host:                  nd.host.Stats,
@@ -826,6 +1166,14 @@ func (nd *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxQueueLen:           nd.srv.MaxQueueLen(),
 		CreateExecutions:      nd.creates.Executed(),
 		CreatePeakConcurrency: nd.creates.Peak(),
+		BootID:                nd.bootID,
+		RPCAttempts:           attempts,
+		RPCRetries:            retries,
+		RPCLost:               lost,
+		RPCBudgetDenials:      nd.client.BudgetDenials(),
+		MeasureTicks:          nd.measureTicks.Load(),
+		PlaceTicks:            nd.placeTicks.Load(),
+		CensusTicks:           nd.censusTicks.Load(),
 	}
 	nd.mu.Unlock()
 	writeJSON(w, rep)

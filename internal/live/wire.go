@@ -49,9 +49,16 @@ const (
 	PathComplete = "/ctl/complete"
 	PathCensus   = "/ctl/census"
 	PathMark     = "/ctl/mark"
+	PathPeers    = "/ctl/peers"
 	PathEvents   = "/ctl/events"
 	PathStats    = "/ctl/stats"
-	PathHealth   = "/healthz"
+	// PathHealth is pure liveness: the process is up and serving HTTP.
+	PathHealth = "/healthz"
+	// PathReady is readiness: the node has started (seed placement
+	// installed, redirector registered, and — in free-running mode — its
+	// tickers running). The chaos controller and failover tests gate on
+	// readiness, not liveness, so they cannot race node startup.
+	PathReady = "/readyz"
 )
 
 // Response headers carrying virtual-time results of object requests.
@@ -401,19 +408,34 @@ func (m *CompleteMsg) Validate() error {
 }
 
 // CensusReply sums the recorded replica counts of every object whose
-// redirector this node owns.
+// redirector this node owns. The per-object extremes feed the invariant
+// checker's watermark-bound assertions.
 type CensusReply struct {
 	Objects       int `json:"objects"`
 	TotalReplicas int `json:"total_replicas"`
 	// BelowFloor counts this redirector's objects currently below the
 	// configured replica floor (zero unless a floor above 1 is armed).
 	BelowFloor int `json:"below_floor,omitempty"`
+	// MinReplicas/MaxReplicas are the smallest and largest recorded
+	// replica count across this redirector's objects (zero when it owns
+	// none).
+	MinReplicas int `json:"min_replicas,omitempty"`
+	MaxReplicas int `json:"max_replicas,omitempty"`
+	// Zero counts objects with no recorded replica at all — each one is a
+	// lost object unless it is healed within the convergence budget.
+	Zero int `json:"zero,omitempty"`
 }
 
 // Validate implements validator.
 func (m *CensusReply) Validate() error {
 	if m.Objects < 0 || m.TotalReplicas < 0 || m.BelowFloor < 0 {
 		return &WireError{Field: "objects", Reason: "negative census"}
+	}
+	if m.MinReplicas < 0 || m.MaxReplicas < 0 || m.Zero < 0 {
+		return &WireError{Field: "min_replicas", Reason: "negative census"}
+	}
+	if m.MaxReplicas < m.MinReplicas {
+		return &WireError{Field: "max_replicas", Reason: fmt.Sprintf("max %d below min %d", m.MaxReplicas, m.MinReplicas)}
 	}
 	return nil
 }
@@ -429,6 +451,28 @@ type MarkMsg struct {
 
 // Validate implements validator.
 func (m *MarkMsg) Validate() error { return checkNode("host", m.Host) }
+
+// PeersMsg rewrites one entry of the receiving node's peer URL table — the
+// chaos controller's partition primitive. A non-http URL (the poison
+// sentinel) makes every control RPC toward that peer fail without leaving
+// the node; restoring the original URL heals the partition. The serve-URL
+// manifest used for client 302s is immutable: partitions cut the control
+// plane, not the data plane.
+type PeersMsg struct {
+	Peer int    `json:"peer"`
+	URL  string `json:"url"`
+}
+
+// Validate implements validator.
+func (m *PeersMsg) Validate() error {
+	if err := checkNode("peer", m.Peer); err != nil {
+		return err
+	}
+	if m.URL == "" {
+		return &WireError{Field: "url", Reason: "empty peer URL"}
+	}
+	return nil
+}
 
 // Event kinds appearing in node event logs.
 const (
@@ -509,12 +553,37 @@ type StatsReply struct {
 	// executions, bounded by the configured limit.
 	CreateExecutions      int64 `json:"create_executions"`
 	CreatePeakConcurrency int   `json:"create_peak_concurrency"`
+
+	// BootID distinguishes node incarnations: a restarted node starts a
+	// fresh one, which is how the invariant checker tells a legitimate
+	// counter reset (new boot) from a corrupt one (same boot).
+	BootID int64 `json:"boot_id,omitempty"`
+
+	// RPC client counters: attempts issued, retries among them, calls
+	// abandoned after the schedule, and calls cut short by the per-peer
+	// retry budget.
+	RPCAttempts      int64 `json:"rpc_attempts,omitempty"`
+	RPCRetries       int64 `json:"rpc_retries,omitempty"`
+	RPCLost          int64 `json:"rpc_lost,omitempty"`
+	RPCBudgetDenials int64 `json:"rpc_budget_denials,omitempty"`
+
+	// Free-running ticker counters: how many self-scheduled measurement,
+	// placement, and census ticks this incarnation has run.
+	MeasureTicks int64 `json:"measure_ticks,omitempty"`
+	PlaceTicks   int64 `json:"place_ticks,omitempty"`
+	CensusTicks  int64 `json:"census_ticks,omitempty"`
 }
 
 // Validate implements validator.
 func (m *StatsReply) Validate() error {
 	if m.TotalServed < 0 || m.MaxQueueLen < 0 || m.CreateExecutions < 0 || m.CreatePeakConcurrency < 0 {
 		return &WireError{Field: "total_served", Reason: "negative counter"}
+	}
+	if m.BootID < 0 || m.RPCAttempts < 0 || m.RPCRetries < 0 || m.RPCLost < 0 || m.RPCBudgetDenials < 0 {
+		return &WireError{Field: "boot_id", Reason: "negative counter"}
+	}
+	if m.MeasureTicks < 0 || m.PlaceTicks < 0 || m.CensusTicks < 0 {
+		return &WireError{Field: "measure_ticks", Reason: "negative counter"}
 	}
 	return nil
 }

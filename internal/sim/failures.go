@@ -83,19 +83,10 @@ func (s *Simulation) faultSpec() fault.Spec {
 
 // topoEdges lists the backbone's undirected edges with first endpoint <
 // second, in deterministic node order — the element order stochastic link
-// cycles draw in.
+// cycles draw in. Shared with the live chaos controller via
+// fault.TopoEdges so both worlds expand a schedule identically.
 func (s *Simulation) topoEdges() [][2]topology.NodeID {
-	var edges [][2]topology.NodeID
-	n := s.topo.NumNodes()
-	for i := 0; i < n; i++ {
-		a := topology.NodeID(i)
-		for _, b := range s.topo.Neighbors(a) {
-			if b > a {
-				edges = append(edges, [2]topology.NodeID{a, b})
-			}
-		}
-	}
-	return edges
+	return fault.TopoEdges(s.topo)
 }
 
 // scheduleFaults expands the merged fault spec into a timeline and arms

@@ -46,6 +46,22 @@ func TestLiveGroupValidation(t *testing.T) {
 	}
 }
 
+// TestLiveFreeRunningNeedsLiveMode: free-running is a refinement of live
+// mode, not a standalone switch.
+func TestLiveFreeRunningNeedsLiveMode(t *testing.T) {
+	err := (radar.Live{LiveFreeRunning: true}).Validate()
+	if !errors.Is(err, radar.ErrBadConfig) {
+		t.Fatalf("LiveFreeRunning without LiveMode: err = %v, want ErrBadConfig", err)
+	}
+	var ce *radar.ConfigError
+	if !errors.As(err, &ce) || ce.Field != "Live.LiveFreeRunning" {
+		t.Fatalf("err = %v, want ConfigError on Live.LiveFreeRunning", err)
+	}
+	if err := (radar.Live{LiveMode: true, LiveFreeRunning: true}).Validate(); err != nil {
+		t.Fatalf("valid free-running group rejected: %v", err)
+	}
+}
+
 // TestRunSeedsRejectsLiveMode: live mode runs one fleet at a time.
 func TestRunSeedsRejectsLiveMode(t *testing.T) {
 	cfg := radar.DefaultConfig(radar.Uniform)
@@ -79,5 +95,30 @@ func TestRunLiveMode(t *testing.T) {
 	}
 	if s.TimedOutRequests != 0 {
 		t.Errorf("%d timed-out requests at nominal load", s.TimedOutRequests)
+	}
+}
+
+// TestRunLiveFreeRunning: the facade's free-running path stands up the
+// fleet on wall clocks and generates real-time load; Duration is wall
+// time, so a short run finishes fast even over the full backbone.
+func TestRunLiveFreeRunning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("free-running fleet over 53 loopback listeners; skipped in -short")
+	}
+	cfg := radar.DefaultConfig(radar.Zipf)
+	cfg.Objects = 106
+	cfg.Duration = 2 * time.Second
+	cfg.Live.LiveMode = true
+	cfg.Live.LiveFreeRunning = true
+	res, err := radar.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.TotalServed == 0 {
+		t.Error("free-running fleet served no requests")
+	}
+	if s.FailedRequests != 0 {
+		t.Errorf("healthy free-running fleet reported %d failed requests", s.FailedRequests)
 	}
 }

@@ -294,6 +294,14 @@ type Live struct {
 	// node (duplicate messages are deduplicated and answer the cached
 	// verdict). Zero selects the default limit.
 	LiveMaxInflightCreates int
+	// LiveFreeRunning lets the fleet own its clocks: nodes self-schedule
+	// measurement, placement, and census ticks on jittered wall-clock
+	// timers and the load generator paces requests in real time, with
+	// Duration read as wall-clock run length. The run is no longer
+	// replayable against the simulator — correctness in this mode is
+	// asserted by invariant checking (package live/check), not sequence
+	// equality. Requires LiveMode.
+	LiveFreeRunning bool
 }
 
 // Validate checks the live group in isolation.
@@ -302,6 +310,12 @@ func (l Live) Validate() error {
 		return &ConfigError{
 			Field: "Live.LiveMaxInflightCreates", Value: l.LiveMaxInflightCreates,
 			Reason: "negative",
+		}
+	}
+	if l.LiveFreeRunning && !l.LiveMode {
+		return &ConfigError{
+			Field: "Live.LiveFreeRunning", Value: true,
+			Reason: "free-running mode requires LiveMode",
 		}
 	}
 	return nil
@@ -761,7 +775,11 @@ func RunSeedsContext(ctx context.Context, cfg Config, seeds []int64, parallelism
 // simulator's event schedule. Results use the same schema as a simulated
 // run (live-only gaps — e.g. post-run invariant sweeps — stay zero).
 func runLive(ctx context.Context, cfg Config, simCfg *sim.Config) (*Result, error) {
-	liveCfg := live.Config{Sim: *simCfg, MaxInflightCreates: cfg.LiveMaxInflightCreates}
+	liveCfg := live.Config{
+		Sim:                *simCfg,
+		MaxInflightCreates: cfg.LiveMaxInflightCreates,
+		FreeRunning:        cfg.LiveFreeRunning,
+	}
 	if err := liveCfg.Validate(); err != nil {
 		return nil, &ConfigError{Field: "Live.LiveMode", Value: true, Reason: err.Error()}
 	}
@@ -770,6 +788,22 @@ func runLive(ctx context.Context, cfg Config, simCfg *sim.Config) (*Result, erro
 		return nil, err
 	}
 	defer fleet.Close()
+	if cfg.LiveFreeRunning {
+		// Free-running: wait for readiness (nodes Start-ed, tickers live),
+		// generate load for the wall-clock duration, and report the real
+		// counters plus a final census — there is no virtual-time replay.
+		if err := fleet.WaitReady(10 * time.Second); err != nil {
+			return nil, err
+		}
+		free, err := live.NewFreeDriver(fleet.Config(), fleet.URLs())
+		if err != nil {
+			return nil, err
+		}
+		if err := free.Run(ctx, fleet.Config().Sim.Duration); err != nil {
+			return nil, err
+		}
+		return convert(free.Results(free.Census())), nil
+	}
 	if err := fleet.WaitHealthy(10 * time.Second); err != nil {
 		return nil, err
 	}
